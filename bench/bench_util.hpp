@@ -1,0 +1,81 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (Section VI) and prints it in a comparable layout. The
+// binaries accept:
+//   --scale=<f>   live-set scale factor (default 0.25; 1.0 is paper-sized.
+//                 The paper notes heap size has little influence on the
+//                 relative results, which bench_heapsize_ablation checks.)
+//   --seed=<n>    workload seed
+//   --bench=<name[,name...]>  subset of benchmarks to run
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/coprocessor.hpp"
+#include "sim/config.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace hwgc::bench {
+
+struct Options {
+  double scale = 0.25;
+  std::uint64_t seed = 42;
+  std::vector<BenchmarkId> benchmarks = all_benchmarks();
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      opt.scale = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--bench=", 0) == 0) {
+      opt.benchmarks.clear();
+      std::string list = arg.substr(8);
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        for (BenchmarkId id : all_benchmarks()) {
+          if (benchmark_name(id) == name) opt.benchmarks.push_back(id);
+        }
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+      if (opt.benchmarks.empty()) {
+        std::fprintf(stderr, "unknown benchmark list: %s\n", list.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--scale=F] [--seed=N] [--bench=a,b,...]\n",
+                  argv[0]);
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+/// Builds the workload fresh and runs one collection cycle under `cfg`.
+inline GcCycleStats run_collection(BenchmarkId id, const Options& opt,
+                                   SimConfig cfg) {
+  Workload w = make_benchmark(id, opt.scale, opt.seed);
+  cfg.heap.semispace_words = w.heap->layout().semispace_words();
+  Coprocessor coproc(cfg, *w.heap);
+  return coproc.collect();
+}
+
+inline void print_header(const char* title, const Options& opt) {
+  std::printf("## %s\n", title);
+  std::printf("## scale=%.3g seed=%llu (paper-sized heaps: --scale=1)\n\n",
+              opt.scale, static_cast<unsigned long long>(opt.seed));
+}
+
+}  // namespace hwgc::bench

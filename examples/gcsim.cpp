@@ -1,0 +1,217 @@
+// gcsim — the command-line front end to the coprocessor simulator.
+//
+// Runs one collection cycle of any workload under any configuration and
+// prints the full measurement report (all counters behind the paper's
+// Tables I/II), optionally as CSV for scripting.
+//
+// Usage:
+//   gcsim [options]
+//     --workload=NAME   compress|cup|db|javac|javacc|jflex|jlisp|search
+//                       or random:<seed> (default: db)
+//     --scale=F         live-set scale (default 0.25)
+//     --seed=N          workload seed (default 42)
+//     --cores=N         GC cores, 1..16+ (default 8)
+//     --latency=N       body memory latency in cycles (default 4)
+//     --header-latency=N  header transaction latency (default 10)
+//     --bandwidth=N     accepted requests/cycle (default 4)
+//     --fifo=N          header FIFO capacity (default 32768)
+//     --header-cache=N  header cache entries (default 0 = off)
+//     --early-read      enable the mark-bit early-read optimization
+//     --subobject       enable cache-line-granularity copying
+//     --concurrent      run the mutator concurrently (read barrier)
+//     --csv             one CSV row instead of the report
+//     --verify          check the heap against a pre-cycle snapshot
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/concurrent_cycle.hpp"
+#include "core/coprocessor.hpp"
+#include "heap/verifier.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/random_graph.hpp"
+
+using namespace hwgc;
+
+namespace {
+
+struct CliOptions {
+  std::string workload = "db";
+  double scale = 0.25;
+  std::uint64_t seed = 42;
+  SimConfig sim;
+  bool concurrent = false;
+  bool csv = false;
+  bool verify = false;
+};
+
+bool parse_u32(const std::string& arg, const char* key, std::uint32_t& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = static_cast<std::uint32_t>(
+      std::strtoul(arg.c_str() + prefix.size(), nullptr, 10));
+  return true;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  o.sim.coprocessor.num_cores = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::uint32_t v = 0;
+    if (a.rfind("--workload=", 0) == 0) {
+      o.workload = a.substr(11);
+    } else if (a.rfind("--scale=", 0) == 0) {
+      o.scale = std::strtod(a.c_str() + 8, nullptr);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      o.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (parse_u32(a, "--cores", v)) {
+      o.sim.coprocessor.num_cores = v;
+    } else if (parse_u32(a, "--latency", v)) {
+      o.sim.memory.latency = v;
+    } else if (parse_u32(a, "--header-latency", v)) {
+      o.sim.memory.header_latency = v;
+    } else if (parse_u32(a, "--bandwidth", v)) {
+      o.sim.memory.bandwidth_per_cycle = v;
+    } else if (parse_u32(a, "--fifo", v)) {
+      o.sim.coprocessor.header_fifo_capacity = v;
+    } else if (parse_u32(a, "--header-cache", v)) {
+      o.sim.memory.header_cache_entries = v;
+    } else if (a == "--early-read") {
+      o.sim.coprocessor.markbit_early_read = true;
+    } else if (a == "--subobject") {
+      o.sim.coprocessor.subobject_copy = true;
+    } else if (a == "--concurrent") {
+      o.concurrent = true;
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--verify") {
+      o.verify = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf("see the header of examples/gcsim.cpp for options\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+Workload build(const CliOptions& o) {
+  if (o.workload.rfind("random:", 0) == 0) {
+    const std::uint64_t seed =
+        std::strtoull(o.workload.c_str() + 7, nullptr, 10);
+    RandomGraphConfig cfg;
+    cfg.nodes = static_cast<std::uint32_t>(2000 * o.scale * 4);
+    return materialize(make_random_plan(seed, cfg));
+  }
+  for (BenchmarkId id : all_benchmarks()) {
+    if (benchmark_name(id) == o.workload) {
+      return make_benchmark(id, o.scale, o.seed);
+    }
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", o.workload.c_str());
+  std::exit(2);
+}
+
+void print_report(const CliOptions& o, const GcCycleStats& s) {
+  if (o.csv) {
+    std::printf("workload,cores,cycles,objects,words,empty_frac,scan_stall,"
+                "free_stall,hdrlock_stall,bodyload_stall,bodystore_stall,"
+                "hdrload_stall,hdrstore_stall,fifo_hits,fifo_misses,"
+                "fifo_overflows,mem_requests\n");
+    std::printf("%s,%u,%llu,%llu,%llu,%.6f", o.workload.c_str(),
+                o.sim.coprocessor.num_cores,
+                static_cast<unsigned long long>(s.total_cycles),
+                static_cast<unsigned long long>(s.objects_copied),
+                static_cast<unsigned long long>(s.words_copied),
+                s.worklist_empty_fraction());
+    for (const StallReason r :
+         {StallReason::kScanLock, StallReason::kFreeLock,
+          StallReason::kHeaderLock, StallReason::kBodyLoad,
+          StallReason::kBodyStore, StallReason::kHeaderLoad,
+          StallReason::kHeaderStore}) {
+      std::printf(",%.0f", s.mean_stall(r));
+    }
+    std::printf(",%llu,%llu,%llu,%llu\n",
+                static_cast<unsigned long long>(s.fifo_hits),
+                static_cast<unsigned long long>(s.fifo_misses),
+                static_cast<unsigned long long>(s.fifo_overflows),
+                static_cast<unsigned long long>(s.mem_requests));
+    return;
+  }
+  std::printf("collection cycle: %llu clock cycles (%s, %s)\n",
+              static_cast<unsigned long long>(s.total_cycles),
+              o.workload.c_str(), o.sim.summary().c_str());
+  std::printf("  objects copied     : %llu (%llu words)\n",
+              static_cast<unsigned long long>(s.objects_copied),
+              static_cast<unsigned long long>(s.words_copied));
+  std::printf("  pointers forwarded : %llu\n",
+              static_cast<unsigned long long>(s.pointers_forwarded));
+  std::printf("  worklist empty     : %.2f%% of cycles\n",
+              100.0 * s.worklist_empty_fraction());
+  std::printf("  header FIFO        : %llu hits, %llu misses, %llu overflows\n",
+              static_cast<unsigned long long>(s.fifo_hits),
+              static_cast<unsigned long long>(s.fifo_misses),
+              static_cast<unsigned long long>(s.fifo_overflows));
+  std::printf("  memory requests    : %llu\n",
+              static_cast<unsigned long long>(s.mem_requests));
+  std::printf("  mean stalls/core (%% of cycle):\n");
+  for (const StallReason r :
+       {StallReason::kScanLock, StallReason::kFreeLock,
+        StallReason::kHeaderLock, StallReason::kBodyLoad,
+        StallReason::kBodyStore, StallReason::kHeaderLoad,
+        StallReason::kHeaderStore}) {
+    std::printf("    %-12s %10.0f (%5.2f%%)\n",
+                std::string(to_string(r)).c_str(), s.mean_stall(r),
+                100.0 * s.mean_stall(r) /
+                    static_cast<double>(s.total_cycles));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions o = parse(argc, argv);
+  Workload w = build(o);
+  std::printf("workload %s: %llu live objects, %llu live words, semispace "
+              "%u words\n",
+              o.workload.c_str(),
+              static_cast<unsigned long long>(w.live_objects),
+              static_cast<unsigned long long>(w.live_words),
+              w.heap->layout().semispace_words());
+
+  if (o.concurrent) {
+    ConcurrentCycle::Config cfg;
+    cfg.sim = o.sim;
+    ConcurrentCycle cycle(cfg, *w.heap);
+    const ConcurrentStats s = cycle.run();
+    print_report(o, s.gc);
+    std::printf("  --- concurrent mutator ---\n");
+    std::printf("  ops executed       : %llu (%llu allocations)\n",
+                static_cast<unsigned long long>(s.mutator_ops),
+                static_cast<unsigned long long>(s.mutator_allocations));
+    std::printf("  barrier activity   : %llu gray reads, %llu evacuations\n",
+                static_cast<unsigned long long>(s.barrier_gray_reads),
+                static_cast<unsigned long long>(s.barrier_evacuations));
+    std::printf("  longest pause      : %llu cycles\n",
+                static_cast<unsigned long long>(s.longest_pause));
+    std::printf("  shadow validation  : %zu mismatches\n",
+                s.validation_mismatches);
+    return s.validation_mismatches == 0 ? 0 : 1;
+  }
+
+  const HeapSnapshot pre =
+      o.verify ? HeapSnapshot::capture(*w.heap) : HeapSnapshot{};
+  Coprocessor coproc(o.sim, *w.heap);
+  const GcCycleStats s = coproc.collect();
+  print_report(o, s);
+  if (o.verify) {
+    const VerifyResult res = verify_collection(pre, *w.heap);
+    std::printf("verifier: %s\n", res.summary().c_str());
+    if (!res.ok) return 1;
+  }
+  return 0;
+}

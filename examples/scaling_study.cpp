@@ -1,0 +1,70 @@
+// Scaling study: reproduce the paper's headline experiment interactively.
+//
+// Usage: ./examples/scaling_study [benchmark] [scale]
+//   benchmark  one of: compress cup db javac javacc jflex jlisp search
+//              (default: db — the best-scaling workload)
+//   scale      live-set scale factor (default 0.25)
+//
+// Prints the collection-cycle duration and speedup at 1..16 cores plus
+// the per-configuration stall anatomy, so the trade-offs behind Figure 5
+// are visible benchmark by benchmark.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/coprocessor.hpp"
+#include "workloads/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hwgc;
+
+  BenchmarkId bench = BenchmarkId::kDb;
+  if (argc > 1) {
+    bool found = false;
+    for (BenchmarkId id : all_benchmarks()) {
+      if (benchmark_name(id) == std::string_view(argv[1])) {
+        bench = id;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", argv[1]);
+      return 2;
+    }
+  }
+  const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.25;
+
+  std::printf("workload: %s (scale %.3g)\n",
+              std::string(benchmark_name(bench)).c_str(), scale);
+  {
+    const GraphPlan plan = make_benchmark_plan(bench, scale);
+    std::printf("  %llu live objects, %llu live words\n",
+                static_cast<unsigned long long>(plan.live_nodes()),
+                static_cast<unsigned long long>(plan.live_words()));
+  }
+
+  std::printf("\n%5s %14s %8s %8s %9s %10s %10s\n", "cores", "cycles",
+              "speedup", "empty%", "scan-stl%", "hdrlk-stl%", "load-stl%");
+  double base = 0.0;
+  for (std::uint32_t cores : {1u, 2u, 4u, 8u, 16u}) {
+    Workload w = make_benchmark(bench, scale);
+    SimConfig cfg;
+    cfg.coprocessor.num_cores = cores;
+    Coprocessor coproc(cfg, *w.heap);
+    const GcCycleStats s = coproc.collect();
+    const double total = static_cast<double>(s.total_cycles);
+    if (cores == 1) base = total;
+    std::printf("%5u %14llu %8.2f %7.2f%% %8.2f%% %9.2f%% %9.2f%%\n", cores,
+                static_cast<unsigned long long>(s.total_cycles), base / total,
+                100.0 * s.worklist_empty_fraction(),
+                100.0 * s.mean_stall(StallReason::kScanLock) / total,
+                100.0 * s.mean_stall(StallReason::kHeaderLock) / total,
+                100.0 *
+                    (s.mean_stall(StallReason::kBodyLoad) +
+                     s.mean_stall(StallReason::kHeaderLoad)) /
+                    total);
+  }
+  std::printf("\nTry: ./scaling_study search   (a workload with no "
+              "object-level parallelism)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Chunk-based parallel copying collector, after Imai & Tick (Section III).
+//
+// Work distribution granularity is a fixed-size tospace *chunk* instead of
+// a single object: each thread fills a private allocation chunk (bump
+// pointer, no synchronization) and scans sealed chunks popped from a
+// shared stack (one mutex acquisition per chunk, not per object).
+//
+// The costs the paper attributes to this class:
+//   * fragmentation — the unusable tail of every sealed chunk
+//     (ParallelGcStats::wasted_words), cancelling part of a copying
+//     collector's compaction benefit;
+//   * an auxiliary dynamic data structure (the chunk stack) apart from the
+//     heap;
+//   * work imbalance at chunk granularity.
+// Per-object synchronization does not disappear entirely: evacuation
+// dedup still requires a CAS per first-visit of an object.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/parallel_common.hpp"
+#include "heap/heap.hpp"
+
+namespace hwgc {
+
+class ChunkedCopyingCollector {
+ public:
+  struct Config {
+    std::uint32_t threads = 8;
+    Word chunk_words = 2048;
+  };
+
+  ChunkedCopyingCollector() : ChunkedCopyingCollector(Config{}) {}
+  explicit ChunkedCopyingCollector(Config cfg) : cfg_(cfg) {}
+
+  ParallelGcStats collect(Heap& heap);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace hwgc

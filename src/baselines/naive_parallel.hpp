@@ -1,0 +1,45 @@
+// The "ideal" fine-grained algorithm of Section IV, implemented with
+// *software* synchronization primitives on the host.
+//
+// This is the straw man the paper's Introduction describes as
+// "prohibitively expensive on standard shared memory based platforms":
+// object-by-object work distribution from a single shared worklist, with
+//   * a mutex around the scan pointer (one acquisition per object),
+//   * striped spin locks standing in for the header-lock CAM (one
+//     acquisition per pointer field), and
+//   * a mutex around the free pointer (one acquisition per evacuation).
+// The copy itself is lazy (backlink + deferred body copy), exactly like
+// the coprocessor, so tospace stays densely packed in Cheney order.
+//
+// Compare its sync-op counters and scaling against the chunked /
+// work-packet / work-stealing baselines (coarser granularity, Section III)
+// in bench_baselines_software.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/parallel_common.hpp"
+#include "heap/heap.hpp"
+
+namespace hwgc {
+
+class NaiveParallelCheney {
+ public:
+  struct Config {
+    std::uint32_t threads = 8;
+    /// Number of striped header spin locks emulating the per-core header
+    /// lock registers. More stripes = fewer false conflicts.
+    std::uint32_t header_lock_stripes = 1024;
+  };
+
+  NaiveParallelCheney() : NaiveParallelCheney(Config{}) {}
+  explicit NaiveParallelCheney(Config cfg) : cfg_(cfg) {}
+
+  /// Runs one full collection cycle with cfg.threads worker threads.
+  ParallelGcStats collect(Heap& heap);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace hwgc

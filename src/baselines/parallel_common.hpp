@@ -1,0 +1,92 @@
+// Shared machinery for the host-threaded software baseline collectors.
+//
+// These collectors reproduce the classes of parallel copying GC the paper
+// reviews in Section III, running as real std::threads over the same heap
+// layout the coprocessor collects. They exist to demonstrate the paper's
+// motivating claim: at object-level granularity, software synchronization
+// (mutexes / CAS per object) is so frequent that collectors must trade
+// balance for coarser work units — chunks, packets, stolen deque segments.
+//
+// All software baselines copy object bodies *eagerly* at evacuation time
+// (the standard software technique); the paper's lazy Gray-1/Gray-2 split
+// is a hardware refinement enabled by the backlink + header FIFO. The
+// forwarding-pointer installation protocol is the usual sentinel CAS:
+//
+//   link == 0         : not evacuated, unclaimed
+//   link == kBusy     : some thread is copying the object right now
+//   link == addr      : forwarded to `addr`
+//
+// Claiming thread: CAS(link, 0 -> kBusy), copy, publish link = addr.
+// Others: spin while kBusy. The attributes word gets kForwardedBit only
+// after publication (it is never read for synchronization here).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "heap/heap.hpp"
+#include "heap/object_model.hpp"
+
+namespace hwgc {
+
+/// Statistics common to all software parallel collectors. The
+/// synchronization counters quantify the Section I/III argument: compare
+/// sync_ops against objects_copied to see the per-object burden.
+struct ParallelGcStats {
+  std::uint64_t objects_copied = 0;
+  std::uint64_t words_copied = 0;      // live words (excludes waste)
+  std::uint64_t wasted_words = 0;      // fragmentation: chunk/LAB tails
+  std::uint64_t cas_ops = 0;           // CAS instructions executed
+  std::uint64_t cas_failures = 0;      // lost races / retries
+  std::uint64_t mutex_acquisitions = 0;
+  std::uint64_t steal_attempts = 0;    // work-stealing only
+  double elapsed_ms = 0.0;
+  std::uint32_t threads = 0;
+};
+
+/// Sentinel stored in the link word while an object is being copied.
+inline constexpr Addr kBusyForwarding = ~Addr{0};
+
+namespace detail {
+
+/// Copies header attributes + body of `obj` to `copy` (eager copy).
+inline void copy_object_body(WordMemory& mem, Addr obj, Addr copy,
+                             Word attrs) {
+  mem.store_atomic(attributes_addr(copy), attrs, std::memory_order_relaxed);
+  mem.store_atomic(link_addr(copy), kNullPtr, std::memory_order_relaxed);
+  const Word body = pi_of(attrs) + delta_of(attrs);
+  for (Word i = 0; i < body; ++i) {
+    mem.store_atomic(copy + kHeaderWords + i,
+                     mem.load_atomic(obj + kHeaderWords + i,
+                                     std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+}
+
+}  // namespace detail
+
+/// Per-thread accounting, merged into ParallelGcStats at the end.
+struct ThreadCounters {
+  std::uint64_t objects = 0;
+  std::uint64_t cas_ops = 0;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t mutex_acquisitions = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t wasted_words = 0;
+};
+
+inline void merge(ParallelGcStats& stats,
+                  const std::vector<ThreadCounters>& per_thread) {
+  for (const auto& t : per_thread) {
+    stats.objects_copied += t.objects;
+    stats.cas_ops += t.cas_ops;
+    stats.cas_failures += t.cas_failures;
+    stats.mutex_acquisitions += t.mutex_acquisitions;
+    stats.steal_attempts += t.steal_attempts;
+    stats.wasted_words += t.wasted_words;
+  }
+}
+
+}  // namespace hwgc

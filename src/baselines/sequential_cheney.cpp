@@ -1,0 +1,71 @@
+#include "baselines/sequential_cheney.hpp"
+
+#include <cassert>
+
+#include "heap/object_model.hpp"
+
+namespace hwgc {
+
+namespace {
+
+/// Evacuates `obj` (if not already forwarded) and returns its tospace copy.
+Addr evacuate(Heap& heap, Addr obj, Addr& free, SequentialGcStats& stats) {
+  WordMemory& m = heap.memory();
+  const Word attrs = m.load(attributes_addr(obj));
+  if (is_forwarded(attrs)) return m.load(link_addr(obj));
+
+  const Word size = object_words(attrs);
+  const Addr copy = free;
+  free += size;
+  assert(free <= heap.layout().tospace_end() && "tospace overflow");
+
+  // Gray 1 (Figure 4): forwarding pointer in fromspace, backlink + shape in
+  // the tospace frame. The body is copied later, when scan reaches it.
+  m.store(attributes_addr(obj), attrs | kForwardedBit);
+  m.store(link_addr(obj), copy);
+  m.store(attributes_addr(copy), attrs);
+  m.store(link_addr(copy), obj);
+  ++stats.objects_copied;
+  return copy;
+}
+
+}  // namespace
+
+SequentialGcStats SequentialCheney::collect(Heap& heap) {
+  SequentialGcStats stats;
+  WordMemory& m = heap.memory();
+  Addr scan = heap.layout().tospace_base();
+  Addr free = scan;
+
+  for (Addr& root : heap.roots()) {
+    if (root != kNullPtr) root = evacuate(heap, root, free, stats);
+  }
+
+  while (scan < free) {
+    const Word attrs = m.load(attributes_addr(scan));
+    const Addr orig = m.load(link_addr(scan));
+    const Word pi = pi_of(attrs);
+    const Word delta = delta_of(attrs);
+    for (Word i = 0; i < pi; ++i) {
+      const Addr child = m.load(pointer_field_addr(orig, i));
+      const Addr fwd =
+          child == kNullPtr ? kNullPtr : evacuate(heap, child, free, stats);
+      m.store(pointer_field_addr(scan, i), fwd);
+      ++stats.pointers_forwarded;
+    }
+    for (Word j = 0; j < delta; ++j) {
+      m.store(data_field_addr(scan, pi, j),
+              m.load(data_field_addr(orig, pi, j)));
+    }
+    m.store(attributes_addr(scan), attrs | kBlackBit);  // blacken
+    m.store(link_addr(scan), kNullPtr);
+    scan += object_words(attrs);
+  }
+
+  stats.words_copied = free - heap.layout().tospace_base();
+  heap.flip();
+  heap.set_alloc_ptr(free);
+  return stats;
+}
+
+}  // namespace hwgc

@@ -1,0 +1,30 @@
+// Reference implementation: Cheney's sequential copying collector
+// (paper Section II), running functionally on the host.
+//
+// This is the algorithmic ground truth the simulator and all parallel
+// baselines are checked against, and the natural "1 core" software
+// comparator (the paper notes its single-core coprocessor configuration
+// performs like the original sequential algorithm).
+#pragma once
+
+#include <cstdint>
+
+#include "heap/heap.hpp"
+
+namespace hwgc {
+
+struct SequentialGcStats {
+  std::uint64_t objects_copied = 0;
+  std::uint64_t words_copied = 0;
+  std::uint64_t pointers_forwarded = 0;
+};
+
+class SequentialCheney {
+ public:
+  /// Runs one collection cycle: copies everything reachable from the roots
+  /// into tospace, updates the roots, flips the heap and publishes the new
+  /// allocation frontier.
+  static SequentialGcStats collect(Heap& heap);
+};
+
+}  // namespace hwgc

@@ -1,0 +1,47 @@
+// Distributed termination detection for the software parallel collectors.
+//
+// The invariant all collectors maintain: a worker publishes every piece of
+// work it produced (increments `outstanding`) *before* it declares itself
+// idle. Then `busy == 0 && outstanding == 0` implies no unscanned object
+// exists anywhere — the same condition the coprocessor's ScanState busy
+// bits check in hardware (Section IV), detected here with two atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hwgc {
+
+class TerminationDetector {
+ public:
+  explicit TerminationDetector(std::uint32_t workers) : busy_(workers) {}
+
+  /// Work accounting: one unit per published-but-unclaimed work item
+  /// (chunk, packet or deque entry, depending on the collector).
+  void published(std::uint64_t n = 1) noexcept {
+    outstanding_.fetch_add(n, std::memory_order_acq_rel);
+  }
+  void claimed(std::uint64_t n = 1) noexcept {
+    outstanding_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+  std::uint64_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+
+  /// Worker state transitions. A worker must only go_idle() after
+  /// publishing all produced work.
+  void go_idle() noexcept { busy_.fetch_sub(1, std::memory_order_acq_rel); }
+  void go_busy() noexcept { busy_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Global termination test, valid from an idle worker.
+  bool finished() const noexcept {
+    return busy_.load(std::memory_order_acquire) == 0 &&
+           outstanding_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> busy_;
+  std::atomic<std::uint64_t> outstanding_{0};
+};
+
+}  // namespace hwgc

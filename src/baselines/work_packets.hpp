@@ -1,0 +1,41 @@
+// Work-packet parallel copying collector, after Ossia et al. (Section III).
+//
+// The gray set is partitioned into *packets* of object references. A
+// thread holds one input packet (references it scans) and one output
+// packet (new gray references it produces); only full/empty packet
+// exchanges touch the shared pool, so the shared-structure synchronization
+// frequency drops from per-object to per-packet.
+//
+// Costs the paper attributes to this class: an auxiliary dynamic data
+// structure apart from the heap, and balance limited by packet
+// granularity (a near-empty pool with large packets strands work). The
+// per-first-visit CAS for evacuation dedup remains.
+//
+// Allocation uses a global atomic bump pointer, so — unlike the chunked
+// and work-stealing baselines — tospace stays hole-free.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/parallel_common.hpp"
+#include "heap/heap.hpp"
+
+namespace hwgc {
+
+class WorkPacketCollector {
+ public:
+  struct Config {
+    std::uint32_t threads = 8;
+    std::uint32_t packet_capacity = 256;
+  };
+
+  WorkPacketCollector() : WorkPacketCollector(Config{}) {}
+  explicit WorkPacketCollector(Config cfg) : cfg_(cfg) {}
+
+  ParallelGcStats collect(Heap& heap);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,39 @@
+// Work-stealing parallel copying collector, after Flood et al.
+// (Section III).
+//
+// Every thread owns a double-ended work queue of tospace references: it
+// pushes and pops at the bottom (cheap), and threads whose queues run dry
+// steal from the top of a victim's queue. Evacuations allocate from
+// thread-local allocation buffers ("LABs" — Flood's local allocation
+// buffers in tospace), so the common path performs no shared-memory
+// synchronization at all.
+//
+// Costs the paper attributes to this class: tospace fragmentation from
+// LAB tails (which motivated Petrank & Kolodner's delayed allocation),
+// steal contention near termination, and the per-first-visit CAS.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/parallel_common.hpp"
+#include "heap/heap.hpp"
+
+namespace hwgc {
+
+class WorkStealingCollector {
+ public:
+  struct Config {
+    std::uint32_t threads = 8;
+    Word lab_words = 1024;  ///< local allocation buffer size
+  };
+
+  WorkStealingCollector() : WorkStealingCollector(Config{}) {}
+  explicit WorkStealingCollector(Config cfg) : cfg_(cfg) {}
+
+  ParallelGcStats collect(Heap& heap);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,95 @@
+// Concurrent collection — the paper's stated next step (Section V-B):
+// "as a next step, we intend to allow the multi-core coprocessor to run
+// concurrently to the main processor."
+//
+// This module combines the parallel collector with the hardware read
+// barrier of the authors' prior real-time work ([26][27]): the main
+// processor keeps executing during the collection cycle, and every pointer
+// it loads passes through a barrier that maintains Baker's to-space
+// invariant (the mutator only ever holds tospace references):
+//
+//   * reading a field of a BLACK object needs no work — black objects
+//     contain only tospace pointers;
+//   * reading a field of a GRAY object is redirected through the frame's
+//     backlink to the fromspace original (the same mechanism the collector
+//     cores use), and a fromspace value found there is evacuated on the
+//     spot — the mutator briefly acts as one more collector core,
+//     participating in the SB's header/free locks under the same
+//     arbitration;
+//   * writes to gray objects go to both the original and the copy, which
+//     the in-order memory model makes equivalent to the prototype's
+//     scheduler-serialized redirection;
+//   * allocations during the cycle are served from the top of tospace
+//     (Baker-style, bump-down from the SB's alloc_top register) and are
+//     born black.
+//
+// Termination stays exactly the Section IV condition (scan == free and
+// all busy bits clear): the mutator owns a busy bit of its own and holds
+// it for the duration of any barrier-assisted operation, so the cycle can
+// only complete while the mutator is between operations — at which point
+// the to-space invariant guarantees no reachable fromspace pointer exists.
+//
+// The headline metric of a concurrent collector is the mutator's worst
+// pause: instead of being stopped for the whole cycle, the main processor
+// only ever waits for its own barrier work (a few lock acquisitions and
+// memory accesses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "heap/heap.hpp"
+#include "sim/config.hpp"
+#include "sim/counters.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+struct ConcurrentStats {
+  GcCycleStats gc;                       ///< the collection cycle itself
+  std::uint64_t mutator_ops = 0;         ///< operations completed during GC
+  std::uint64_t barrier_gray_reads = 0;  ///< reads redirected via backlink
+  std::uint64_t barrier_evacuations = 0; ///< evacuations done by the mutator
+  std::uint64_t mutator_allocations = 0;
+  /// Allocation attempts refused by admission control (the reserve for the
+  /// worst-case remaining evacuation demand was too tight). A real runtime
+  /// would block the allocating thread at these points.
+  std::uint64_t mutator_alloc_backoffs = 0;
+  Cycle mutator_busy_cycles = 0;   ///< cycles the mutator made progress
+  Cycle mutator_stall_cycles = 0;  ///< cycles spent in barrier waits
+  Cycle longest_pause = 0;         ///< worst consecutive stall run
+
+  /// Shadow-model mismatches found by the post-cycle validation walk
+  /// (0 = the mutator's view of the graph survived the concurrent cycle).
+  std::size_t validation_mismatches = 0;
+};
+
+class ConcurrentCycle {
+ public:
+  struct Config {
+    SimConfig sim;
+    /// Synthetic mutator program: operation mix over the mutator's
+    /// register file, executed while the coprocessor collects.
+    std::uint64_t mutator_seed = 1;
+    /// Registers (root slots) the mutator works with.
+    std::uint32_t registers = 16;
+    /// Average cycles between mutator operation starts (models the main
+    /// processor's heap-access density; 1 = an op every cycle).
+    std::uint32_t op_spacing = 3;
+    Word max_pi = 3;
+    Word max_delta = 6;
+  };
+
+  ConcurrentCycle(Config cfg, Heap& heap) : cfg_(cfg), heap_(heap) {}
+
+  /// Runs one collection cycle with the mutator executing concurrently,
+  /// then validates the mutator's shadow graph against the heap.
+  ConcurrentStats run();
+
+ private:
+  Config cfg_;
+  Heap& heap_;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,117 @@
+#include "core/coprocessor.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/gc_core.hpp"
+#include "core/sync_block.hpp"
+#include "mem/header_fifo.hpp"
+#include "mem/memory_system.hpp"
+
+namespace hwgc {
+
+GcCycleStats Coprocessor::collect(SignalTrace* trace) {
+  const std::uint32_t n = cfg_.coprocessor.num_cores;
+  if (n == 0) throw std::invalid_argument("coprocessor needs >= 1 core");
+
+  SyncBlock sb(n);
+  MemorySystem mem(cfg_.memory, n);
+  HeaderFifo fifo(cfg_.coprocessor.header_fifo_capacity);
+  GcContext ctx{sb, mem, fifo, heap_, cfg_.coprocessor};
+
+  const Addr tospace_base = heap_.layout().tospace_base();
+  sb.set_scan(tospace_base);
+  sb.set_free(tospace_base);
+  sb.set_alloc_top(heap_.layout().tospace_end());
+
+  std::vector<GcCore> cores;
+  cores.reserve(n);
+  for (CoreId id = 0; id < n; ++id) cores.emplace_back(id, ctx);
+
+  GcCycleStats stats;
+  Cycle now = 0;
+  const std::uint64_t start_gen = sb.barrier_generation();
+
+  // Monitoring framework (Section VI-A): sample on change only, so the
+  // ring stays useful for long cycles.
+  std::uint16_t sig_scan = 0, sig_free = 0, sig_gray = 0, sig_busy = 0;
+  std::uint64_t prev_scan = ~0ULL, prev_free = ~0ULL, prev_busy = ~0ULL;
+  if (trace != nullptr) {
+    sig_scan = trace->register_signal("scan");
+    sig_free = trace->register_signal("free");
+    sig_gray = trace->register_signal("gray_words");
+    sig_busy = trace->register_signal("busy_cores");
+    if (!trace->enabled()) trace->enable();
+  }
+
+  auto all_done = [&] {
+    for (const auto& c : cores) {
+      if (!c.done()) return false;
+    }
+    return true;
+  };
+
+  // Clock loop: memory retires/accepts first, then cores step in index
+  // order (which realizes the SB's static-priority arbitration and its
+  // same-cycle lock hand-off).
+  bool cores_halted = false;
+  while (true) {
+    mem.tick(now);
+    if (!cores_halted) {
+      sb.begin_cycle();
+      for (auto& c : cores) c.step(now);
+      cores_halted = all_done();
+      // Table I: cycles during which the worklist is empty. Counted over
+      // the parallel scan phase (after the start barrier released).
+      if (!cores_halted && sb.barrier_generation() > start_gen &&
+          sb.worklist_empty()) {
+        ++stats.worklist_empty_cycles;
+      }
+      if (trace != nullptr) {
+        if (sb.scan() != prev_scan) {
+          prev_scan = sb.scan();
+          trace->sample(now, sig_scan, prev_scan);
+        }
+        if (sb.free() != prev_free) {
+          prev_free = sb.free();
+          trace->sample(now, sig_free, prev_free);
+          trace->sample(now, sig_gray, sb.free() - sb.scan());
+        }
+        std::uint64_t busy = 0;
+        for (CoreId c = 0; c < n; ++c) busy += sb.busy(c) ? 1 : 0;
+        if (busy != prev_busy) {
+          prev_busy = busy;
+          trace->sample(now, sig_busy, busy);
+        }
+      }
+    }
+    ++now;
+    if (cores_halted && mem.stores_drained()) break;  // flush complete
+    if (now >= cfg_.coprocessor.watchdog_cycles) {
+      throw std::runtime_error("GC coprocessor watchdog expired after " +
+                               std::to_string(now) + " cycles");
+    }
+  }
+
+  // "Restart the main processor": publish the compacted heap.
+  const Addr free_final = sb.free();
+  heap_.flip();
+  heap_.set_alloc_ptr(free_final);
+
+  stats.total_cycles = now;
+  stats.words_copied = free_final - tospace_base;
+  stats.fifo_overflows = fifo.overflows();
+  stats.fifo_hits = fifo.hits();
+  stats.fifo_misses = fifo.misses();
+  stats.mem_requests = mem.requests_issued();
+  stats.lock_order_violations = sb.violations();
+  stats.per_core.reserve(n);
+  for (const auto& c : cores) {
+    stats.per_core.push_back(c.counters());
+    stats.objects_copied += c.counters().objects_evacuated;
+    stats.pointers_forwarded += c.counters().pointers_processed;
+  }
+  return stats;
+}
+
+}  // namespace hwgc

@@ -1,0 +1,55 @@
+// The multi-core garbage-collection coprocessor (paper Figure 2).
+//
+// Owns the per-collection hardware state — Synchronization Block, memory
+// access scheduler and header FIFO — instantiates N GC cores and clocks
+// them to completion of one collection cycle. The "main processor" is
+// stopped for the duration of the cycle (Section V-B); its root registers
+// are the heap's root vector.
+//
+// A cycle runs:
+//   1. scan/free initialized to the tospace base (Core 1's job, V-E);
+//   2. core 0 evacuates all root-referenced objects;
+//   3. start barrier releases every core into the parallel scan loop;
+//   4. each core observes scan == free with all busy bits clear and halts;
+//   5. the coprocessor waits until every store buffer has drained, then
+//      "restarts the main processor": flips the heap and publishes the
+//      final free pointer as the new allocation frontier.
+#pragma once
+
+#include <cstdint>
+
+#include "heap/heap.hpp"
+#include "sim/config.hpp"
+#include "sim/counters.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+class Coprocessor {
+ public:
+  Coprocessor(const SimConfig& cfg, Heap& heap)
+      : cfg_(cfg), heap_(heap) {}
+
+  /// Runs one complete collection cycle on the attached heap and returns
+  /// its statistics. The heap must hold the live graph in its current
+  /// space; afterwards the graph lives compacted in the flipped space and
+  /// the roots are redirected.
+  ///
+  /// Throws std::runtime_error if the watchdog expires (a modeling bug —
+  /// the algorithm itself is deadlock-free by lock ordering).
+  ///
+  /// If `trace` is non-null, the scan pointer, free pointer, gray-object
+  /// word count and busy-core count are sampled on change every cycle —
+  /// the software counterpart of the prototype's 32-signal FPGA monitor
+  /// (Section VI-A).
+  GcCycleStats collect(SignalTrace* trace = nullptr);
+
+  const SimConfig& config() const noexcept { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+  Heap& heap_;
+};
+
+}  // namespace hwgc

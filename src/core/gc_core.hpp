@@ -1,0 +1,147 @@
+// One microprogrammed GC core (paper Sections IV and V).
+//
+// Each core executes the parallel Cheney scan loop as a per-cycle state
+// machine — the software analogue of the prototype's 180-word microprogram.
+// One state transition per clock; memory operations are initiated
+// asynchronously through the core's four port buffers, and the core stalls
+// (attributing the cycle to a StallReason) only when
+//   * a lock is contended (scan / free / header CAM),
+//   * it needs load data that has not arrived,
+//   * it issues a store into a full store buffer, or
+//   * it waits at a synchronizing micro-instruction (barrier).
+//
+// Core 0 plays the paper's "Core 1" role: it evacuates the root set before
+// the start barrier releases the other cores into the scan loop
+// (Section V-E).
+#pragma once
+
+#include <cstdint>
+
+#include "core/sync_block.hpp"
+#include "heap/heap.hpp"
+#include "mem/header_fifo.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/config.hpp"
+#include "sim/counters.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+/// Shared hardware context visible to every core.
+struct GcContext {
+  SyncBlock& sb;
+  MemorySystem& mem;
+  HeaderFifo& fifo;
+  Heap& heap;
+  CoprocessorConfig cfg;
+};
+
+class GcCore {
+ public:
+  GcCore(CoreId id, GcContext& ctx);
+
+  /// Advances the core by one clock cycle.
+  void step(Cycle now);
+
+  /// True once the core has observed global termination (scan == free with
+  /// every busy bit clear) and left the scan loop.
+  bool done() const noexcept { return state_ == State::kDone; }
+
+  CoreId id() const noexcept { return id_; }
+  const CoreCounters& counters() const noexcept { return counters_; }
+
+ private:
+  enum class State : std::uint8_t {
+    // Root phase (core 0) / start barrier (all cores).
+    kRootInit,
+    kStartBarrier,
+    // Scan loop.
+    kFetchWork,
+    kFetchHeaderWait,  // header FIFO miss: memory read under the scan lock
+    kPtrLoadIssue,
+    kPtrLoadWait,
+    kChildPeek,        // markbit_early_read: unlocked header read
+    kChildPeekWait,
+    kChildLock,
+    kChildHeaderWait,
+    kEvacuate,
+    kPtrStore,
+    kDataLoadIssue,
+    kDataLoadWait,
+    kBlacken,
+    // Sub-object copying (Section VII future work 1).
+    kStripePublish,
+    kStripeLoadIssue,
+    kStripeLoadWait,
+    kStripeBlacken,
+    kDone,
+  };
+
+  void stall(StallReason r) { counters_.add_stall(r); }
+  void work() { ++counters_.busy_cycles; }
+
+  // State handlers; each models exactly one clock cycle.
+  void do_root_init();
+  void do_start_barrier();
+  void do_fetch_work();
+  void do_fetch_header_wait();
+  void do_ptr_load_issue();
+  void do_ptr_load_wait();
+  void do_child_peek();
+  void do_child_peek_wait();
+  void do_child_lock();
+  void do_child_header_wait();
+  void do_evacuate();
+  void do_ptr_store();
+  void do_data_load_issue();
+  void do_data_load_wait();
+  void do_blacken();
+  void do_stripe_publish();
+  void do_stripe_load_issue();
+  void do_stripe_load_wait();
+  void do_stripe_blacken();
+
+  /// Common continuation once the header of the object at `scan` is known:
+  /// advance scan past it, mark this core busy, release the scan lock.
+  void begin_object(Word attrs, Addr backlink);
+
+  /// Continuation after a child pointer has been resolved to `fwd_`.
+  void child_resolved();
+
+  /// Next state after pointer field `field_i_` has been written.
+  void advance_field();
+
+  /// State that starts the data-area phase of the current object: plain
+  /// sequential copy, striped hand-off (large objects with subobject_copy
+  /// enabled) or straight to blackening when there is no data.
+  State data_phase_state() const;
+
+  CoreId id_;
+  GcContext& ctx_;
+  CoreCounters counters_{};
+  State state_;
+
+  // Per-object registers (the core's register file).
+  Addr frame_addr_ = kNullPtr;  ///< tospace copy under construction
+  Addr orig_addr_ = kNullPtr;   ///< fromspace original (from the backlink)
+  Word attrs_ = 0;
+  Word pi_ = 0;
+  Word delta_ = 0;
+  Word field_i_ = 0;
+  Word data_j_ = 0;
+  Addr child_ = kNullPtr;
+  Word child_attrs_ = 0;
+  Addr fwd_ = kNullPtr;
+
+  // Sub-object copying registers.
+  SyncBlock::StripeTask stripe_task_{};
+  Word stripe_j_ = 0;
+
+  // Root-evacuation bookkeeping (core 0 only).
+  std::size_t root_k_ = 0;
+  bool processing_root_ = false;
+
+  std::uint64_t start_barrier_gen_ = 0;
+};
+
+}  // namespace hwgc

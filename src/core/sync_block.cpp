@@ -1,0 +1,149 @@
+#include "core/sync_block.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hwgc {
+
+SyncBlock::SyncBlock(std::uint32_t num_cores)
+    : header_locks_(num_cores),
+      busy_(num_cores, 0),
+      barrier_arrived_(num_cores, 0) {
+  assert(num_cores >= 1);
+}
+
+void SyncBlock::audit(CoreId core, const char* acquiring) {
+  // Fixed ordering scan < header < free: while holding a header lock a core
+  // must not claim scan; while holding free it must claim neither header
+  // nor scan (Section IV).
+  const bool holds_h = holds_header(core);
+  const bool holds_f = holds_free(core);
+  const std::string_view what{acquiring};
+  const bool bad = (what == "scan" && (holds_h || holds_f)) ||
+                   (what == "header" && holds_f);
+  if (bad) {
+    violations_.push_back("core " + std::to_string(core) + " acquires " +
+                          std::string(what) + " while holding " +
+                          (holds_f ? "free" : "header"));
+  }
+}
+
+bool SyncBlock::try_lock_scan(CoreId core) {
+  assert(core < num_cores());
+  if (scan_owner_ == core) return true;
+  if (scan_owner_ != kNoOwner || scan_acquired_this_cycle_) return false;
+  audit(core, "scan");
+  scan_owner_ = core;
+  scan_acquired_this_cycle_ = true;
+  return true;
+}
+
+void SyncBlock::unlock_scan(CoreId core) {
+  assert(scan_owner_ == core && "unlock by non-owner");
+  (void)core;
+  scan_owner_ = kNoOwner;
+}
+
+bool SyncBlock::try_lock_free(CoreId core) {
+  assert(core < num_cores());
+  if (free_owner_ == core) return true;
+  if (free_owner_ != kNoOwner || free_acquired_this_cycle_) return false;
+  free_owner_ = core;
+  free_acquired_this_cycle_ = true;
+  return true;
+}
+
+void SyncBlock::unlock_free(CoreId core) {
+  assert(free_owner_ == core && "unlock by non-owner");
+  (void)core;
+  free_owner_ = kNoOwner;
+}
+
+bool SyncBlock::try_lock_header(CoreId core, Addr addr) {
+  assert(core < num_cores());
+  assert(addr != kNullPtr);
+  // CAM compare against all other cores' header-lock registers, in
+  // parallel in hardware.
+  for (CoreId other = 0; other < num_cores(); ++other) {
+    if (other != core && header_locks_[other] == addr) return false;
+  }
+  audit(core, "header");
+  header_locks_[core] = addr;
+  return true;
+}
+
+void SyncBlock::unlock_header(CoreId core) {
+  assert(header_locks_[core].has_value() && "unlock of unheld header lock");
+  header_locks_[core].reset();
+}
+
+bool SyncBlock::all_idle() const noexcept {
+  return std::all_of(busy_.begin(), busy_.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+bool SyncBlock::stripe_publish(Addr orig, Addr copy, Word attrs) {
+  for (std::uint32_t s = 0; s < kStripeSlots; ++s) {
+    if (!stripe_slot_active_[s]) {
+      stripe_slot_active_[s] = true;
+      stripe_slots_[s] = StripeJob{orig, copy, attrs, 0, 0};
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SyncBlock::stripe_grab(Word stripe_words, StripeTask& out) {
+  if (stripe_grabbed_this_cycle_) return false;
+  for (std::uint32_t s = 0; s < kStripeSlots; ++s) {
+    if (!stripe_slot_active_[s]) continue;
+    StripeJob& job = stripe_slots_[s];
+    const Word delta = delta_of(job.attrs);
+    if (job.next_offset >= delta) continue;  // fully dispensed, draining
+    out.orig = job.orig;
+    out.copy = job.copy;
+    out.attrs = job.attrs;
+    out.pi = pi_of(job.attrs);
+    out.offset = job.next_offset;
+    out.length = std::min<Word>(stripe_words, delta - job.next_offset);
+    out.slot = s;
+    job.next_offset += out.length;
+    ++job.outstanding;
+    stripe_grabbed_this_cycle_ = true;
+    return true;
+  }
+  return false;
+}
+
+bool SyncBlock::stripe_complete(std::uint32_t slot) {
+  assert(slot < kStripeSlots && stripe_slot_active_[slot]);
+  StripeJob& job = stripe_slots_[slot];
+  assert(job.outstanding > 0);
+  --job.outstanding;
+  if (job.outstanding == 0 && job.next_offset >= delta_of(job.attrs)) {
+    stripe_slot_active_[slot] = false;  // job done; caller blackens
+    return true;
+  }
+  return false;
+}
+
+bool SyncBlock::stripes_idle() const noexcept {
+  for (std::uint32_t s = 0; s < kStripeSlots; ++s) {
+    if (stripe_slot_active_[s]) return false;
+  }
+  return true;
+}
+
+void SyncBlock::barrier_arrive(CoreId core) {
+  assert(core < num_cores());
+  if (barrier_arrived_[core]) return;
+  barrier_arrived_[core] = 1;
+  if (++barrier_count_ == num_cores()) {
+    std::fill(barrier_arrived_.begin(), barrier_arrived_.end(),
+              std::uint8_t{0});
+    barrier_count_ = 0;
+    ++barrier_gen_;
+  }
+}
+
+}  // namespace hwgc

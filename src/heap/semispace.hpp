@@ -1,0 +1,57 @@
+// Semispace geometry for the copying collector (paper Section II).
+//
+// The heap is split into two equal semispaces. The mutator allocates into
+// the current space; a collection cycle flips the roles and copies the live
+// graph from the (old current =) fromspace into the tospace.
+#pragma once
+
+#include <cassert>
+
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+class SemispaceLayout {
+ public:
+  /// Lays the two semispaces out back to back starting at word 1 (word 0
+  /// is the reserved null word).
+  explicit SemispaceLayout(Word semispace_words)
+      : words_(semispace_words), base0_(1), base1_(1 + semispace_words) {
+    assert(semispace_words > 0);
+  }
+
+  Word semispace_words() const noexcept { return words_; }
+
+  /// Total memory words needed, including the reserved null word.
+  std::size_t total_words() const noexcept {
+    return static_cast<std::size_t>(words_) * 2 + 1;
+  }
+
+  Addr fromspace_base() const noexcept { return current_is_0_ ? base0_ : base1_; }
+  Addr tospace_base() const noexcept { return current_is_0_ ? base1_ : base0_; }
+  Addr fromspace_end() const noexcept { return fromspace_base() + words_; }
+  Addr tospace_end() const noexcept { return tospace_base() + words_; }
+
+  /// The space the mutator currently allocates into (becomes fromspace at
+  /// the next flip).
+  Addr current_base() const noexcept { return fromspace_base(); }
+  Addr current_end() const noexcept { return fromspace_end(); }
+
+  bool in_fromspace(Addr a) const noexcept {
+    return a >= fromspace_base() && a < fromspace_end();
+  }
+  bool in_tospace(Addr a) const noexcept {
+    return a >= tospace_base() && a < tospace_end();
+  }
+
+  /// Swaps the roles of the two spaces (start of a collection cycle).
+  void flip() noexcept { current_is_0_ = !current_is_0_; }
+
+ private:
+  Word words_;
+  Addr base0_;
+  Addr base1_;
+  bool current_is_0_ = true;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,209 @@
+#include "heap/verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "heap/object_model.hpp"
+
+namespace hwgc {
+
+HeapSnapshot HeapSnapshot::capture(const Heap& heap) {
+  HeapSnapshot snap;
+  snap.roots = heap.roots();
+  snap.space_base = heap.layout().current_base();
+  snap.space_end = heap.layout().current_end();
+
+  std::deque<Addr> queue;
+  for (Addr r : snap.roots) {
+    if (r != kNullPtr && !snap.index.contains(r)) {
+      snap.index.emplace(r, snap.objects.size());
+      snap.objects.push_back({});
+      queue.push_back(r);
+    }
+  }
+  // BFS; record full contents of every reachable object.
+  std::size_t next = 0;
+  while (!queue.empty()) {
+    const Addr obj = queue.front();
+    queue.pop_front();
+    // Fill a local record: enqueueing children below grows snap.objects,
+    // which would invalidate a reference into it.
+    ObjectRecord rec;
+    rec.addr = obj;
+    rec.pi = heap.pi(obj);
+    rec.delta = heap.delta(obj);
+    rec.pointers.reserve(rec.pi);
+    for (Word i = 0; i < rec.pi; ++i) {
+      const Addr child = heap.pointer(obj, i);
+      rec.pointers.push_back(child);
+      if (child != kNullPtr && !snap.index.contains(child)) {
+        snap.index.emplace(child, snap.objects.size());
+        snap.objects.push_back({});
+        queue.push_back(child);
+      }
+    }
+    rec.data.reserve(rec.delta);
+    for (Word j = 0; j < rec.delta; ++j) rec.data.push_back(heap.data(obj, j));
+    snap.live_words += object_words(rec.pi, rec.delta);
+    snap.objects[next++] = std::move(rec);
+  }
+  return snap;
+}
+
+std::string VerifyResult::summary() const {
+  if (ok) return "OK";
+  std::ostringstream os;
+  os << errors.size() << (errors.size() == 32 ? "+" : "") << " error(s): ";
+  for (const auto& e : errors) os << "\n  - " << e;
+  return os.str();
+}
+
+namespace {
+
+std::string hex(Addr a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+}  // namespace
+
+VerifyResult verify_collection(const HeapSnapshot& pre, const Heap& post,
+                               VerifyOptions options) {
+  VerifyResult res;
+  const WordMemory& mem = post.memory();
+  const Addr new_base = post.layout().current_base();
+  const Addr new_end = post.layout().current_end();
+
+  // The collector must have flipped: the new space must not be the space
+  // the snapshot was taken in.
+  if (new_base == pre.space_base) {
+    res.fail("heap was not flipped after collection");
+    return res;
+  }
+
+  // Invariant 1: every pre-live object is forwarded exactly once, into the
+  // new space, and the forwarding map is injective.
+  std::unordered_map<Addr, Addr> fwd;  // old addr -> new addr
+  std::unordered_set<Addr> images;
+  fwd.reserve(pre.objects.size());
+  for (const auto& rec : pre.objects) {
+    const Word attrs = mem.load(attributes_addr(rec.addr));
+    if (!is_forwarded(attrs)) {
+      res.fail("live object " + hex(rec.addr) + " was not evacuated");
+      continue;
+    }
+    const Addr copy = mem.load(link_addr(rec.addr));
+    if (copy < new_base || copy >= new_end) {
+      res.fail("forwarding pointer of " + hex(rec.addr) +
+               " points outside tospace: " + hex(copy));
+      continue;
+    }
+    if (!images.insert(copy).second) {
+      res.fail("two objects forwarded to the same copy " + hex(copy));
+      continue;
+    }
+    fwd.emplace(rec.addr, copy);
+  }
+  if (!res.ok) return res;
+
+  // Invariant 2: each copy is black, carries identical attributes, has
+  // pointer fields mapped through fwd and bit-identical data words.
+  for (const auto& rec : pre.objects) {
+    const Addr copy = fwd.at(rec.addr);
+    const Word attrs = mem.load(attributes_addr(copy));
+    if (!is_black(attrs)) {
+      res.fail("copy " + hex(copy) + " of " + hex(rec.addr) + " is not black");
+    }
+    if (pi_of(attrs) != rec.pi || delta_of(attrs) != rec.delta) {
+      res.fail("copy " + hex(copy) + " has wrong shape: pi " +
+               std::to_string(pi_of(attrs)) + "/" + std::to_string(rec.pi) +
+               " delta " + std::to_string(delta_of(attrs)) + "/" +
+               std::to_string(rec.delta));
+      continue;
+    }
+    for (Word i = 0; i < rec.pi; ++i) {
+      const Addr old_child = rec.pointers[i];
+      const Addr new_child = mem.load(pointer_field_addr(copy, i));
+      const Addr expect =
+          old_child == kNullPtr ? kNullPtr : fwd.at(old_child);
+      if (new_child != expect) {
+        res.fail("pointer field " + std::to_string(i) + " of copy " +
+                 hex(copy) + " is " + hex(new_child) + ", expected " +
+                 hex(expect));
+      }
+      // Invariant 4: no pointer may refer into the evacuated space.
+      if (new_child != kNullPtr &&
+          (new_child >= pre.space_base && new_child < pre.space_end)) {
+        res.fail("stale fromspace pointer in copy " + hex(copy));
+      }
+    }
+    for (Word j = 0; j < rec.delta; ++j) {
+      const Word v = mem.load(data_field_addr(copy, rec.pi, j));
+      if (v != rec.data[j]) {
+        res.fail("data word " + std::to_string(j) + " of copy " + hex(copy) +
+                 " corrupted: " + std::to_string(v) + " != " +
+                 std::to_string(rec.data[j]));
+      }
+    }
+  }
+
+  // Invariant 3: compaction. For Cheney-order collectors the copies tile
+  // the new space contiguously from its base and the published allocation
+  // pointer sits right behind the last copy. Chunk/LAB collectors are
+  // checked for non-overlap and containment below the allocation pointer
+  // instead (their holes are the fragmentation cost the paper cites).
+  std::vector<Addr> sorted(images.begin(), images.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (options.require_dense) {
+    Addr expect = new_base;
+    for (Addr copy : sorted) {
+      if (copy != expect) {
+        res.fail("compaction hole: expected object at " + hex(expect) +
+                 ", found " + hex(copy));
+        break;
+      }
+      expect += object_words(mem.load(attributes_addr(copy)));
+    }
+    if (expect != new_base + pre.live_words) {
+      res.fail("tospace extent mismatch: " +
+               std::to_string(expect - new_base) + " words copied, snapshot " +
+               "had " + std::to_string(pre.live_words) + " live words");
+    }
+    if (post.alloc_ptr() != expect) {
+      res.fail("allocation pointer not at end of copied data: " +
+               hex(post.alloc_ptr()) + " != " + hex(expect));
+    }
+  } else {
+    Addr prev_end = new_base;
+    for (Addr copy : sorted) {
+      if (copy < prev_end) {
+        res.fail("overlapping copies near " + hex(copy));
+        break;
+      }
+      prev_end = copy + object_words(mem.load(attributes_addr(copy)));
+    }
+    if (prev_end > post.alloc_ptr()) {
+      res.fail("copy extends past the published allocation pointer");
+    }
+  }
+
+  // Roots must have been redirected to the copies.
+  if (post.roots().size() != pre.roots.size()) {
+    res.fail("root count changed during collection");
+  } else {
+    for (std::size_t k = 0; k < pre.roots.size(); ++k) {
+      const Addr expect_root =
+          pre.roots[k] == kNullPtr ? kNullPtr : fwd.at(pre.roots[k]);
+      if (post.roots()[k] != expect_root) {
+        res.fail("root " + std::to_string(k) + " not forwarded: " +
+                 hex(post.roots()[k]) + " != " + hex(expect_root));
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace hwgc

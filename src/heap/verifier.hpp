@@ -1,0 +1,65 @@
+// Heap verifier: proves that a collection cycle preserved the live graph.
+//
+// Usage: capture a HeapSnapshot of the live graph *before* the cycle, run
+// any collector, then verify(). The checks implement DESIGN.md invariants
+// 1-4: single evacuation, graph isomorphism through the forwarding map,
+// dense compaction and absence of stale fromspace pointers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "heap/heap.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+/// Deep copy of the live object graph, in BFS order from the roots.
+struct HeapSnapshot {
+  struct ObjectRecord {
+    Addr addr = kNullPtr;
+    Word pi = 0;
+    Word delta = 0;
+    std::vector<Addr> pointers;
+    std::vector<Word> data;
+  };
+
+  std::vector<ObjectRecord> objects;
+  std::unordered_map<Addr, std::size_t> index;  // addr -> objects[] slot
+  std::vector<Addr> roots;
+  Addr space_base = 0;  ///< base of the space the snapshot was taken in
+  Addr space_end = 0;
+  Word live_words = 0;
+
+  /// Walks the heap's current space from its roots.
+  static HeapSnapshot capture(const Heap& heap);
+};
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    if (errors.size() < 32) errors.push_back(std::move(msg));
+  }
+  std::string summary() const;
+};
+
+struct VerifyOptions {
+  /// Cheney-order collectors (the coprocessor, sequential, naive parallel,
+  /// work-packets) produce a densely packed tospace; chunk- and LAB-based
+  /// collectors legitimately leave holes (the fragmentation the paper holds
+  /// against them), so they are verified for containment and non-overlap
+  /// instead.
+  bool require_dense = true;
+};
+
+/// Checks a completed collection cycle against the pre-cycle snapshot.
+/// Expects the collector to have flipped the heap, updated the roots and
+/// published the final free pointer via set_alloc_ptr().
+VerifyResult verify_collection(const HeapSnapshot& pre, const Heap& post,
+                               VerifyOptions options = {});
+
+}  // namespace hwgc

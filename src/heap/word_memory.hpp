@@ -1,0 +1,68 @@
+// Flat word-addressed memory — the functional storage behind both the
+// coprocessor simulator and the software baseline collectors.
+//
+// Timing is modeled elsewhere (src/mem); this class only provides the
+// architectural contents. Address 0 is reserved so that 0 can serve as the
+// null pointer, exactly as in the prototype's object-based memory model.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+class WordMemory {
+ public:
+  explicit WordMemory(std::size_t words) : words_(words, 0) {
+    assert(words >= 1 && "need at least the reserved null word");
+  }
+
+  std::size_t size() const noexcept { return words_.size(); }
+
+  Word load(Addr a) const noexcept {
+    assert(a != kNullPtr && a < words_.size());
+    return words_[a];
+  }
+
+  void store(Addr a, Word v) noexcept {
+    assert(a != kNullPtr && a < words_.size());
+    words_[a] = v;
+  }
+
+  /// Atomic access for the host-threaded software baselines. The simulator
+  /// never needs these (it is single-threaded and sequentializes cores
+  /// within a cycle); the baselines run real std::threads over this memory
+  /// and must synchronize through the language memory model.
+  Word load_atomic(Addr a,
+                   std::memory_order mo = std::memory_order_acquire) noexcept {
+    assert(a != kNullPtr && a < words_.size());
+    return std::atomic_ref<Word>(words_[a]).load(mo);
+  }
+
+  void store_atomic(Addr a, Word v,
+                    std::memory_order mo = std::memory_order_release) noexcept {
+    assert(a != kNullPtr && a < words_.size());
+    std::atomic_ref<Word>(words_[a]).store(v, mo);
+  }
+
+  /// Compare-and-swap on one word; returns true on success and updates
+  /// `expected` with the observed value on failure.
+  bool cas(Addr a, Word& expected, Word desired) noexcept {
+    assert(a != kNullPtr && a < words_.size());
+    return std::atomic_ref<Word>(words_[a]).compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel);
+  }
+
+  void fill(Word v) noexcept {
+    for (auto& w : words_) w = v;
+  }
+
+ private:
+  std::vector<Word> words_;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,98 @@
+#include "mem/memory_system.hpp"
+
+#include <cassert>
+
+namespace hwgc {
+
+MemorySystem::MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores)
+    : cfg_(cfg), buffers_(static_cast<std::size_t>(num_cores) * kPortCount) {
+  if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 4 * num_cores;
+  cache_tags_.assign(cfg_.header_cache_entries, kNullPtr);
+}
+
+bool MemorySystem::header_cache_lookup_and_fill(Addr addr) {
+  if (cache_tags_.empty()) return false;
+  Addr& tag = cache_tags_[addr % cache_tags_.size()];
+  if (tag == addr) {
+    ++cache_hits_;
+    return true;
+  }
+  ++cache_misses_;
+  tag = addr;  // allocate on miss (loads and stores alike)
+  return false;
+}
+
+void MemorySystem::issue_store(CoreId core, Port port, Addr addr) {
+  PortBuffer& b = buf(core, port);
+  assert(b.stores_waiting < kStoreDepth &&
+         "core must stall on a full store buffer");
+  ++b.stores_waiting;
+  ++uncommitted_stores_;
+  if (port == Port::kHeader) ++pending_header_stores_[addr];
+  ++requests_;
+  queue_.push_back(Request{core, port, MemOp::kStore, addr});
+}
+
+void MemorySystem::issue_load(CoreId core, Port port, Addr addr) {
+  PortBuffer& b = buf(core, port);
+  assert(!b.load_inflight && "core must consume the previous load first");
+  b.load_inflight = true;
+  ++requests_;
+  queue_.push_back(Request{core, port, MemOp::kLoad, addr});
+}
+
+void MemorySystem::tick(Cycle now) {
+  // 1. Retire transactions whose latency has elapsed. Within each port
+  //    class acceptance order is completion order (constant per-class
+  //    latency), so only the fronts can retire.
+  const auto retire = [&](std::deque<Inflight>& inflight) {
+    while (!inflight.empty() && inflight.front().complete_at <= now) {
+      const Request& r = inflight.front().req;
+      if (r.op == MemOp::kLoad) {
+        buf(r.core, r.port).load_inflight = false;  // data arrived
+      } else {
+        --uncommitted_stores_;  // committed to memory
+        if (r.port == Port::kHeader) {
+          auto it = pending_header_stores_.find(r.addr);
+          assert(it != pending_header_stores_.end());
+          if (--it->second == 0) pending_header_stores_.erase(it);
+        }
+      }
+      inflight.pop_front();
+    }
+  };
+  retire(inflight_header_);
+  retire(inflight_header_fast_);
+  retire(inflight_body_);
+
+  // 2. Accept up to bandwidth_per_cycle queued requests, oldest first.
+  //    Header loads held back by the comparator array let younger,
+  //    independent requests pass (split transactions).
+  std::uint32_t accepted = 0;
+  for (auto it = queue_.begin();
+       it != queue_.end() && accepted < cfg_.bandwidth_per_cycle;) {
+    const Request r = *it;
+    if (r.op == MemOp::kLoad && r.port == Port::kHeader &&
+        header_store_uncommitted(r.addr)) {
+      ++it;  // comparator array delays this header load
+      continue;
+    }
+    if (r.op == MemOp::kStore) {
+      --buf(r.core, r.port).stores_waiting;  // slot frees on acceptance
+    }
+    if (r.port == Port::kHeader) {
+      if (header_cache_lookup_and_fill(r.addr)) {
+        inflight_header_fast_.push_back(
+            Inflight{r, now + cfg_.header_cache_hit_latency});
+      } else {
+        inflight_header_.push_back(Inflight{r, now + cfg_.header_latency});
+      }
+    } else {
+      inflight_body_.push_back(Inflight{r, now + cfg_.latency});
+    }
+    it = queue_.erase(it);
+    ++accepted;
+  }
+}
+
+}  // namespace hwgc

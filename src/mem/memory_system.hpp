@@ -1,0 +1,149 @@
+// Split-transaction memory access scheduler (paper Section V-D).
+//
+// Timing model only — architectural memory contents live in WordMemory and
+// are updated by the cores at issue time, which is semantically equivalent
+// because the locking protocol guarantees a single writer and ordered
+// access for every location (see DESIGN.md §5).
+//
+// Modeled behaviour:
+//  * Each core owns one load and one store buffer per port (header/body):
+//    four buffers per core, as in the prototype.
+//  * Store buffers hold up to kStoreDepth entries awaiting *acceptance* by
+//    the scheduler; a store needs no reply, so its slot frees as soon as
+//    the scheduler picks it up. A core stalls only when it issues a store
+//    into a full buffer.
+//  * A load occupies its buffer until the data returns (full latency); the
+//    core stalls when it needs the data earlier.
+//  * The scheduler accepts up to `bandwidth_per_cycle` requests per clock,
+//    oldest first; an accepted request completes `latency` cycles later.
+//  * Comparator array: a *header load* is not accepted while any header
+//    store to the same address is still uncommitted. Body accesses are
+//    never ordered (each body word is touched exactly once per cycle).
+//  * stores_drained(): end-of-cycle flush — the main processor may only be
+//    restarted once every store has committed (Section V-E).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/ports.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+class MemorySystem {
+ public:
+  /// Entries per store buffer. Two slots let an evacuation issue its pair
+  /// of header stores (fromspace forwarding + tospace frame) in
+  /// consecutive cycles without stalling, which the prototype's 1-cycle
+  /// free-lock critical section requires.
+  static constexpr std::uint8_t kStoreDepth = 2;
+
+  MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores);
+
+  // --- Core-side buffer interface ---------------------------------------
+
+  /// True when the store buffer is full; the core must stall before
+  /// issuing another store on this port.
+  bool store_busy(CoreId core, Port port) const noexcept {
+    return buf(core, port).stores_waiting >= kStoreDepth;
+  }
+
+  /// Free slots in the store buffer (0..kStoreDepth).
+  std::uint8_t store_slots_free(CoreId core, Port port) const noexcept {
+    return static_cast<std::uint8_t>(kStoreDepth -
+                                     buf(core, port).stores_waiting);
+  }
+
+  /// True while a load is outstanding and its data has not yet arrived.
+  bool load_pending(CoreId core, Port port) const noexcept {
+    return buf(core, port).load_inflight;
+  }
+
+  /// Issues a store. Precondition: !store_busy(core, port).
+  void issue_store(CoreId core, Port port, Addr addr);
+
+  /// Issues a load. Precondition: !load_pending(core, port).
+  void issue_load(CoreId core, Port port, Addr addr);
+
+  // --- Global timing -----------------------------------------------------
+
+  /// Advances the memory system by one clock cycle: completes transactions
+  /// whose latency elapsed, then accepts up to bandwidth_per_cycle queued
+  /// requests.
+  void tick(Cycle now);
+
+  /// True when no store (any port, any core) is still uncommitted.
+  bool stores_drained() const noexcept { return uncommitted_stores_ == 0; }
+
+  /// True when nothing at all is in flight.
+  bool idle() const noexcept {
+    return queue_.empty() && inflight_header_.empty() &&
+           inflight_header_fast_.empty() && inflight_body_.empty();
+  }
+
+  std::uint64_t requests_issued() const noexcept { return requests_; }
+  std::uint64_t header_cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t header_cache_misses() const noexcept { return cache_misses_; }
+  std::uint32_t num_cores() const noexcept {
+    return static_cast<std::uint32_t>(buffers_.size() / kPortCount);
+  }
+
+ private:
+  struct PortBuffer {
+    bool load_inflight = false;
+    std::uint8_t stores_waiting = 0;  // issued, not yet accepted
+  };
+
+  struct Request {
+    CoreId core = 0;
+    Port port = Port::kHeader;
+    MemOp op = MemOp::kLoad;
+    Addr addr = 0;
+  };
+
+  struct Inflight {
+    Request req;
+    Cycle complete_at = 0;
+  };
+
+  PortBuffer& buf(CoreId core, Port port) noexcept {
+    return buffers_[core * kPortCount + static_cast<std::size_t>(port)];
+  }
+  const PortBuffer& buf(CoreId core, Port port) const noexcept {
+    return buffers_[core * kPortCount + static_cast<std::size_t>(port)];
+  }
+
+  /// Comparator array: is a header store to `addr` queued or in flight?
+  bool header_store_uncommitted(Addr addr) const noexcept {
+    return pending_header_stores_.contains(addr);
+  }
+
+  MemoryConfig cfg_;
+  std::vector<PortBuffer> buffers_;  // num_cores x kPortCount
+  std::deque<Request> queue_;        // issued, not yet accepted
+  // Accepted requests of one latency class complete in acceptance order
+  // (constant per-class latency), so one deque per class suffices: the
+  // front always retires first. Header-cache hits form their own, faster
+  // class.
+  std::deque<Inflight> inflight_header_;
+  std::deque<Inflight> inflight_header_fast_;
+  std::deque<Inflight> inflight_body_;
+
+  /// Header cache (Section VII future work 2): direct-mapped tag array.
+  /// Contents are architectural memory (functional state is elsewhere), so
+  /// only tags are modeled. Loads and stores both allocate.
+  bool header_cache_lookup_and_fill(Addr addr);
+  std::vector<Addr> cache_tags_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  // Comparator array: uncommitted header-store count per address.
+  std::unordered_map<Addr, std::uint32_t> pending_header_stores_;
+  std::uint64_t uncommitted_stores_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace hwgc

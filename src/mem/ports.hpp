@@ -1,0 +1,26 @@
+// Memory port taxonomy of the coprocessor (paper Section V-D).
+//
+// Each GC core owns four asynchronous buffers: header-load, header-store,
+// body-load and body-store. Headers and bodies are disjoint address sets
+// with completely different access patterns, so the hardware (and this
+// model) handles them independently.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hwgc {
+
+enum class Port : std::uint8_t { kHeader = 0, kBody = 1 };
+inline constexpr std::size_t kPortCount = 2;
+
+enum class MemOp : std::uint8_t { kLoad = 0, kStore = 1 };
+
+constexpr std::string_view to_string(Port p) noexcept {
+  return p == Port::kHeader ? "header" : "body";
+}
+constexpr std::string_view to_string(MemOp o) noexcept {
+  return o == MemOp::kLoad ? "load" : "store";
+}
+
+}  // namespace hwgc

@@ -1,0 +1,87 @@
+#include "runtime/runtime.hpp"
+
+#include <stdexcept>
+
+#include "core/coprocessor.hpp"
+
+namespace hwgc {
+
+Runtime::Runtime(Word semispace_words, SimConfig cfg)
+    : heap_(semispace_words), cfg_(cfg) {
+  cfg_.heap.semispace_words = semispace_words;
+}
+
+Addr Runtime::addr(Ref ref) const {
+  if (ref.is_null()) return kNullPtr;
+  return heap_.roots()[ref.slot_];
+}
+
+std::size_t Runtime::take_slot(Addr a) {
+  if (!free_slots_.empty()) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    heap_.roots()[slot] = a;
+    return slot;
+  }
+  heap_.roots().push_back(a);
+  return heap_.roots().size() - 1;
+}
+
+Runtime::Ref Runtime::alloc(Word pi, Word delta) {
+  Addr obj = heap_.allocate(pi, delta);
+  if (obj == kNullPtr) {
+    collect();
+    obj = heap_.allocate(pi, delta);
+    if (obj == kNullPtr) {
+      throw std::runtime_error(
+          "Runtime: heap exhausted even after a collection cycle");
+    }
+  }
+  return Ref(take_slot(obj));
+}
+
+void Runtime::release(Ref ref) {
+  if (ref.is_null()) return;
+  heap_.roots()[ref.slot_] = kNullPtr;
+  free_slots_.push_back(ref.slot_);
+}
+
+void Runtime::set_ptr(Ref obj, Word field, Ref target) {
+  heap_.set_pointer(addr(obj), field, addr(target));
+}
+
+void Runtime::set_ptr_null(Ref obj, Word field) {
+  heap_.set_pointer(addr(obj), field, kNullPtr);
+}
+
+Runtime::Ref Runtime::load_ptr(Ref obj, Word field) {
+  const Addr child = heap_.pointer(addr(obj), field);
+  if (child == kNullPtr) return Ref{};
+  return Ref(take_slot(child));
+}
+
+Runtime::Ref Runtime::dup(Ref ref) {
+  if (ref.is_null()) return Ref{};
+  return Ref(take_slot(addr(ref)));
+}
+
+void Runtime::set_data(Ref obj, Word j, Word value) {
+  heap_.set_data(addr(obj), j, value);
+}
+
+Word Runtime::get_data(Ref obj, Word j) const {
+  return heap_.data(addr(obj), j);
+}
+
+Word Runtime::pi(Ref obj) const { return heap_.pi(addr(obj)); }
+Word Runtime::delta(Ref obj) const { return heap_.delta(addr(obj)); }
+
+const GcCycleStats& Runtime::collect() {
+  // Allocation into the current space is dense, so alloc_ptr is already
+  // consistent; the coprocessor flips the heap and republishes it.
+  Coprocessor coproc(cfg_, heap_);
+  history_.push_back(coproc.collect());
+  return history_.back();
+}
+
+}  // namespace hwgc

@@ -1,0 +1,97 @@
+// Managed-runtime façade — the public API example applications program
+// against.
+//
+// The paper's system runs Java on an object-based main processor whose
+// memory the GC coprocessor collects. This class plays the role of that
+// runtime for our examples and multi-cycle tests: it owns a Heap and a
+// coprocessor configuration, hands out *stable references* (objects move
+// during collection, so raw addresses must never be held across an
+// allocation), and transparently runs a collection cycle on the simulated
+// coprocessor whenever the allocator runs out of space — the moment the
+// prototype's Core 1 would stop the main processor (Section V-E).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "heap/heap.hpp"
+#include "sim/config.hpp"
+#include "sim/counters.hpp"
+
+namespace hwgc {
+
+class Runtime {
+ public:
+  /// A GC-safe object reference: a slot in the root table, kept up to date
+  /// by every collection. Copyable; release() frees the slot.
+  class Ref {
+   public:
+    Ref() = default;
+    bool is_null() const noexcept { return slot_ == kInvalid; }
+
+   private:
+    friend class Runtime;
+    explicit Ref(std::size_t slot) : slot_(slot) {}
+    static constexpr std::size_t kInvalid = ~std::size_t{0};
+    std::size_t slot_ = kInvalid;
+  };
+
+  explicit Runtime(Word semispace_words, SimConfig cfg = {});
+
+  /// Allocates a rooted object with `pi` pointer fields and `delta` data
+  /// words. Triggers a collection cycle when the semispace is exhausted;
+  /// throws std::runtime_error if even a fresh semispace cannot satisfy
+  /// the request.
+  Ref alloc(Word pi, Word delta);
+
+  /// Drops the root slot; the object stays alive only through other paths.
+  void release(Ref ref);
+
+  void set_ptr(Ref obj, Word field, Ref target);
+  void set_ptr_null(Ref obj, Word field);
+
+  /// Reads a pointer field and roots the referenced object in a new slot
+  /// (returns a null Ref for a null field).
+  Ref load_ptr(Ref obj, Word field);
+
+  /// Roots the same object in a fresh slot (reference duplication); both
+  /// refs must eventually be released independently.
+  Ref dup(Ref ref);
+
+  void set_data(Ref obj, Word j, Word value);
+  Word get_data(Ref obj, Word j) const;
+  Word pi(Ref obj) const;
+  Word delta(Ref obj) const;
+
+  /// Forces a collection cycle now.
+  const GcCycleStats& collect();
+
+  /// Current heap address of a rooted reference. Only stable until the
+  /// next collection — exposed for tests and debugging tools (e.g. the
+  /// shadow-mutator validation and the heap inspector example).
+  Addr address_of(Ref ref) const { return addr(ref); }
+
+  /// Statistics of every collection cycle run so far.
+  const std::vector<GcCycleStats>& gc_history() const noexcept {
+    return history_;
+  }
+  std::uint64_t words_in_use() const noexcept { return heap_.used_words(); }
+  std::uint64_t live_roots() const noexcept {
+    return heap_.roots().size() - free_slots_.size();
+  }
+
+  Heap& heap() noexcept { return heap_; }
+  const Heap& heap() const noexcept { return heap_; }
+  const SimConfig& config() const noexcept { return cfg_; }
+
+ private:
+  Addr addr(Ref ref) const;
+  std::size_t take_slot(Addr a);
+
+  Heap heap_;
+  SimConfig cfg_;
+  std::vector<std::size_t> free_slots_;
+  std::vector<GcCycleStats> history_;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,112 @@
+// Configuration of the simulated coprocessor, memory system and heap.
+//
+// Every knob the paper's evaluation turns is a field here:
+//   - number of GC cores (Figure 5/6 sweeps 1..16),
+//   - memory latency (Figure 6 adds an artificial +20 cycles),
+//   - memory bandwidth (Section VII names it as the second scalability
+//     limit),
+//   - header-FIFO capacity (Section V-D, the `cup` discussion in VI-B),
+//   - the mark-bit early-read optimization the authors propose for javac.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+/// Timing model of the off-chip memory (DDR-SDRAM module in the prototype).
+struct MemoryConfig {
+  /// Cycles between a *body* request being accepted by the scheduler and
+  /// its data being available. Body accesses are highly sequential
+  /// (Section V-D), so they stream from open DRAM rows; the prototype's
+  /// effective latency is "a few clock cycles" (Section VI-B).
+  /// Figure 6 uses base + 20.
+  Cycle latency = 4;
+
+  /// Completion latency of *header* transactions (both 32-bit header words
+  /// move in one transaction over the 64-bit DDR interface). Headers show
+  /// no spatial locality (Section V-D), so nearly every access pays a DRAM
+  /// row activation on top of the base latency.
+  Cycle header_latency = 10;
+
+  /// Requests the memory system can start servicing per core clock cycle.
+  /// Models the DDR interface running at 4x the 25 MHz core clock.
+  std::uint32_t bandwidth_per_cycle = 4;
+
+  /// Maximum outstanding split transactions accepted from the cores.
+  /// The paper allows 4 x N pending requests; the scheduler additionally
+  /// respects this global cap (0 = derive 4 x num_cores automatically).
+  std::uint32_t max_outstanding = 0;
+
+  /// Header cache (Section VII, future work 2): an on-chip direct-mapped
+  /// tag store for header transactions. Hot headers (javac's symbol hubs,
+  /// re-checked fromspace headers) then complete in
+  /// header_cache_hit_latency cycles instead of paying the DRAM row miss.
+  /// 0 disables the cache — the paper's measured configuration.
+  std::uint32_t header_cache_entries = 0;
+  Cycle header_cache_hit_latency = 2;
+};
+
+/// Configuration of the multi-core GC coprocessor.
+struct CoprocessorConfig {
+  /// Number of GC cores, 1..16 in the prototype. One core behaves exactly
+  /// like sequential Cheney (Section VI-B).
+  std::uint32_t num_cores = 8;
+
+  /// Capacity (entries) of the on-chip gray-header FIFO. Each entry caches
+  /// one evacuated tospace header (attributes + backlink). The prototype
+  /// supports up to 32k entries. 0 disables the FIFO entirely.
+  std::uint32_t header_fifo_capacity = 32 * 1024;
+
+  /// Sub-object work distribution (Section VII, future work 1): the data
+  /// areas of large objects are split into cache-line-sized stripes that
+  /// idle cores copy in parallel through the SB's stripe dispenser. Off by
+  /// default, as in the paper's measured configuration.
+  bool subobject_copy = false;
+
+  /// Stripe length in words (16 words = one 64-byte cache line).
+  Word stripe_words = 16;
+
+  /// Objects whose data area has at least this many words are striped.
+  Word stripe_threshold = 64;
+
+  /// Mark-bit early-read optimization (Section VI-B, javac discussion):
+  /// read the mark bit without acquiring the header lock first, and only
+  /// perform a locking read when the bit is clear. Off by default, as in
+  /// the paper's measured configuration.
+  bool markbit_early_read = false;
+
+  /// Record a per-cycle signal trace (costly; for debugging/inspection).
+  bool enable_trace = false;
+
+  /// Watchdog: abort a collection cycle that exceeds this many clock
+  /// cycles (indicates a modeling bug; the algorithm is deadlock-free).
+  Cycle watchdog_cycles = 4'000'000'000ULL;
+};
+
+/// Heap geometry.
+struct HeapConfig {
+  /// Words per semispace. The paper sizes the heap at twice the minimal
+  /// heap (Section VI-B); generators compute this from their live set.
+  std::uint32_t semispace_words = 1u << 22;  // 16 MiB of 32-bit words
+};
+
+/// Bundle of all knobs for one simulation run.
+struct SimConfig {
+  CoprocessorConfig coprocessor;
+  MemoryConfig memory;
+  HeapConfig heap;
+
+  /// Human-readable one-line summary, used by bench harness headers.
+  std::string summary() const {
+    return "cores=" + std::to_string(coprocessor.num_cores) +
+           " lat=" + std::to_string(memory.latency) +
+           " bw=" + std::to_string(memory.bandwidth_per_cycle) +
+           " fifo=" + std::to_string(coprocessor.header_fifo_capacity) +
+           " earlyread=" + (coprocessor.markbit_early_read ? "on" : "off");
+  }
+};
+
+}  // namespace hwgc

@@ -1,0 +1,120 @@
+// Signal tracing — software stand-in for the prototype's on-FPGA monitoring
+// framework (Section VI-A: "trace up to 32 internal signals in each clock
+// cycle", streamed over a dedicated Gigabit Ethernet link).
+//
+// We write named signal samples to an in-memory ring and optionally to a
+// CSV file for offline analysis, mirroring their measurement flow.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+/// One sampled signal transition.
+struct TraceEvent {
+  Cycle cycle = 0;
+  std::uint16_t signal = 0;
+  std::uint64_t value = 0;
+};
+
+/// Records signal samples with bounded memory. Disabled tracers compile to
+/// near-no-ops on the hot path.
+class SignalTrace {
+ public:
+  static constexpr std::size_t kMaxSignals = 32;  // as in the prototype
+
+  SignalTrace() = default;
+
+  /// Registers a signal name; returns its id. At most kMaxSignals signals
+  /// may be registered, matching the hardware monitor's channel count.
+  std::uint16_t register_signal(std::string name) {
+    names_.push_back(std::move(name));
+    return static_cast<std::uint16_t>(names_.size() - 1);
+  }
+
+  void enable(std::size_t max_events = 1u << 20) {
+    enabled_ = true;
+    max_events_ = max_events;
+  }
+  void disable() { enabled_ = false; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void sample(Cycle cycle, std::uint16_t signal, std::uint64_t value) {
+    if (!enabled_) return;
+    if (events_.size() >= max_events_) events_.pop_front();
+    events_.push_back(TraceEvent{cycle, signal, value});
+  }
+
+  const std::deque<TraceEvent>& events() const noexcept { return events_; }
+  const std::vector<std::string>& signal_names() const noexcept {
+    return names_;
+  }
+  void clear() { events_.clear(); }
+
+  /// Dumps the trace as CSV (cycle,signal,value). Returns false on I/O
+  /// failure.
+  bool write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "cycle,signal,value\n";
+    for (const auto& e : events_) {
+      const auto& name = e.signal < names_.size()
+                             ? names_[e.signal]
+                             : std::string("sig") + std::to_string(e.signal);
+      out << e.cycle << ',' << name << ',' << e.value << '\n';
+    }
+    return static_cast<bool>(out);
+  }
+
+  /// Dumps the trace as a Value Change Dump for waveform viewers
+  /// (GTKWave etc.) — the natural habitat of an FPGA prototype's signals.
+  /// Signals are emitted as 64-bit vectors. Returns false on I/O failure.
+  bool write_vcd(const std::string& path,
+                 const std::string& module = "hwgc") const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "$timescale 1ns $end\n$scope module " << module << " $end\n";
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      out << "$var wire 64 " << vcd_id(i) << ' ' << names_[i] << " $end\n";
+    }
+    out << "$upscope $end\n$enddefinitions $end\n";
+    Cycle current = ~Cycle{0};
+    for (const auto& e : events_) {
+      if (e.cycle != current) {
+        current = e.cycle;
+        out << '#' << current << '\n';
+      }
+      out << 'b';
+      for (int bit = 63; bit >= 0; --bit) {
+        out << ((e.value >> bit) & 1u);
+      }
+      out << ' ' << vcd_id(e.signal) << '\n';
+    }
+    return static_cast<bool>(out);
+  }
+
+ private:
+  /// Short printable VCD identifier for a signal index.
+  static std::string vcd_id(std::size_t i) {
+    std::string id;
+    do {
+      id.push_back(static_cast<char>('!' + i % 94));
+      i /= 94;
+    } while (i != 0);
+    return id;
+  }
+
+  bool enabled_ = false;
+  std::size_t max_events_ = 1u << 20;
+  std::deque<TraceEvent> events_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,34 @@
+// Fundamental scalar types shared by every hwgc module.
+//
+// The prototype in the paper is a 32-bit word machine: the heap is an array
+// of 32-bit words, pointers are word addresses, and all coprocessor
+// datapaths are 32 bits wide. We mirror that exactly so that header
+// encodings, object sizes and address arithmetic carry over unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hwgc {
+
+/// One 32-bit machine word, the unit of all heap storage.
+using Word = std::uint32_t;
+
+/// A word address into the simulated memory (not a byte address).
+/// Address 0 is reserved as the null pointer.
+using Addr = std::uint32_t;
+
+/// A clock-cycle count. The FPGA prototype runs for millions of cycles per
+/// collection; 64 bits keeps every counter overflow-free.
+using Cycle = std::uint64_t;
+
+/// Identifier of a coprocessor core, 0-based. The paper's "Core 1" is id 0.
+using CoreId = std::uint32_t;
+
+/// Null pointer value inside the simulated heap.
+inline constexpr Addr kNullPtr = 0;
+
+/// Number of header words per object (attributes word + link word).
+inline constexpr Word kHeaderWords = 2;
+
+}  // namespace hwgc

@@ -1,0 +1,71 @@
+#include "workloads/graph_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "heap/object_model.hpp"
+
+namespace hwgc {
+
+std::uint64_t GraphPlan::live_words() const {
+  std::uint64_t words = 0;
+  for (const auto& n : nodes) {
+    if (!n.garbage) words += object_words(n.pi, n.delta);
+  }
+  return words;
+}
+
+std::uint64_t GraphPlan::total_words() const {
+  std::uint64_t words = 0;
+  for (const auto& n : nodes) words += object_words(n.pi, n.delta);
+  return words;
+}
+
+std::uint64_t GraphPlan::live_nodes() const {
+  std::uint64_t count = 0;
+  for (const auto& n : nodes) {
+    if (!n.garbage) ++count;
+  }
+  return count;
+}
+
+Workload materialize(const GraphPlan& plan, double heap_factor) {
+  const std::uint64_t live = plan.live_words();
+  const std::uint64_t total = plan.total_words();
+  const std::uint64_t wanted =
+      std::max<std::uint64_t>(static_cast<std::uint64_t>(
+                                  static_cast<double>(live) * heap_factor),
+                              total + 64);
+  if (wanted > 0xF0000000ULL) {
+    throw std::invalid_argument("workload too large for a 32-bit heap");
+  }
+
+  Workload w;
+  w.heap = std::make_unique<Heap>(static_cast<Word>(wanted));
+  w.live_objects = plan.live_nodes();
+  w.live_words = live;
+  w.node_addrs.reserve(plan.nodes.size());
+
+  std::uint64_t salt = 0;
+  for (const auto& n : plan.nodes) {
+    const Addr obj = w.heap->allocate(n.pi, n.delta);
+    if (obj == kNullPtr) {
+      throw std::runtime_error("materialize: heap sizing bug (allocation failed)");
+    }
+    // Deterministic data pattern so the verifier catches copy corruption.
+    for (Word j = 0; j < n.delta; ++j) {
+      w.heap->set_data(obj, j, static_cast<Word>(0x5eed0000u ^ (salt + j)));
+    }
+    salt += 131;
+    w.node_addrs.push_back(obj);
+  }
+  for (const auto& e : plan.edges) {
+    w.heap->set_pointer(w.node_addrs[e.src], e.field, w.node_addrs[e.dst]);
+  }
+  for (std::uint32_t r : plan.roots) {
+    w.heap->roots().push_back(w.node_addrs[r]);
+  }
+  return w;
+}
+
+}  // namespace hwgc

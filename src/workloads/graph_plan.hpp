@@ -1,0 +1,65 @@
+// Host-side description of an object graph, independent of any Heap.
+//
+// Benchmark generators produce a GraphPlan; `materialize` lays it out in a
+// fresh Heap sized per the paper's rule of thumb (twice the minimal heap,
+// Section VI-B). Keeping the plan separate from the heap lets the
+// coprocessor simulator, the software baselines and the property tests all
+// run the *same* graph.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "heap/heap.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+struct GraphPlan {
+  struct Node {
+    Word pi = 0;
+    Word delta = 0;
+    bool garbage = false;  ///< allocated but never reachable from a root
+  };
+  struct Edge {
+    std::uint32_t src = 0;
+    Word field = 0;
+    std::uint32_t dst = 0;
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+  std::vector<std::uint32_t> roots;  ///< indices into nodes
+
+  std::uint32_t add(Word pi, Word delta, bool garbage = false) {
+    nodes.push_back(Node{pi, delta, garbage});
+    return static_cast<std::uint32_t>(nodes.size() - 1);
+  }
+  void link(std::uint32_t src, Word field, std::uint32_t dst) {
+    edges.push_back(Edge{src, field, dst});
+  }
+  void add_root(std::uint32_t n) { roots.push_back(n); }
+
+  /// Words occupied by live (non-garbage) nodes. Note: reachability is the
+  /// generator's responsibility; a node marked live must be linked from a
+  /// root.
+  std::uint64_t live_words() const;
+  std::uint64_t total_words() const;
+  std::uint64_t live_nodes() const;
+};
+
+/// A materialized workload: the heap plus bookkeeping for benches/tests.
+struct Workload {
+  std::unique_ptr<Heap> heap;
+  std::vector<Addr> node_addrs;  ///< plan index -> heap address
+  std::uint64_t live_objects = 0;
+  std::uint64_t live_words = 0;
+};
+
+/// Builds a heap containing the plan's graph. The semispace is sized
+/// `heap_factor` x the live words (default 2.0, the paper's rule of thumb),
+/// but never smaller than needed to hold everything allocated.
+Workload materialize(const GraphPlan& plan, double heap_factor = 2.0);
+
+}  // namespace hwgc

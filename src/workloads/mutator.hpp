@@ -1,0 +1,76 @@
+// A churning mutator with a shadow model — the stand-in for the paper's
+// Java applications *between* collection cycles.
+//
+// The FPGA system runs real programs that allocate, mutate and drop
+// references; Core 1 stops them when the semispace fills and the
+// coprocessor collects (Section V-E). ShadowMutator reproduces that
+// allocate/mutate/release churn against the Runtime facade and keeps a
+// host-side shadow of the expected object graph, so tests can prove that
+// *arbitrarily many* collection cycles preserve every reachable object,
+// pointer and data word — not just the single cycle the HeapSnapshot
+// verifier covers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace hwgc {
+
+class ShadowMutator {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    Word max_pi = 4;
+    Word max_delta = 8;
+    /// Rough number of rooted objects the mutator tries to keep alive;
+    /// beyond it, allocation steps are balanced by root releases (creating
+    /// garbage for the next cycle).
+    std::size_t target_live = 256;
+  };
+
+  ShadowMutator() : ShadowMutator(Config{}) {}
+  explicit ShadowMutator(Config cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Performs one mutation action: allocate, link, unlink, overwrite data
+  /// or release a root.
+  void step(Runtime& rt);
+
+  void run(Runtime& rt, std::size_t steps) {
+    for (std::size_t i = 0; i < steps; ++i) step(rt);
+  }
+
+  /// Walks the shadow graph and compares every reachable object's shape,
+  /// data words and link structure against the real heap. Returns the
+  /// number of mismatches (0 = heap and shadow agree).
+  std::size_t validate(Runtime& rt) const;
+
+  std::size_t live_rooted() const noexcept;
+  std::uint64_t allocations() const noexcept { return allocations_; }
+
+ private:
+  struct ShadowObj {
+    Runtime::Ref ref;  ///< valid while rooted
+    bool rooted = false;
+    Word pi = 0;
+    Word delta = 0;
+    std::vector<std::int64_t> children;  ///< shadow index or -1
+    std::vector<Word> data;
+  };
+
+  /// Drops shadow objects that are no longer reachable from any rooted
+  /// shadow object (they are garbage in the real heap too).
+  void shadow_collect();
+
+  std::size_t pick_live();
+
+  Config cfg_;
+  Rng rng_;
+  std::vector<ShadowObj> objs_;
+  std::vector<std::size_t> live_;  ///< indices of reachable shadow objects
+  std::uint64_t allocations_ = 0;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,38 @@
+#include "workloads/random_graph.hpp"
+
+#include <vector>
+
+namespace hwgc {
+
+GraphPlan make_random_plan(std::uint64_t seed, RandomGraphConfig cfg) {
+  Rng rng(seed);
+  GraphPlan p;
+  std::vector<std::uint32_t> pool;  // linkable (non-garbage) nodes
+  pool.reserve(cfg.nodes);
+
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    const bool garbage = rng.uniform01() < cfg.garbage_fraction;
+    const Word pi = static_cast<Word>(rng.below(cfg.max_pi + 1));
+    const Word delta = static_cast<Word>(rng.below(cfg.max_delta + 1));
+    const std::uint32_t node = p.add(pi, delta, garbage);
+    if (!garbage) pool.push_back(node);
+  }
+  if (pool.empty()) pool.push_back(p.add(1, 1));
+
+  // Wire pointer fields among non-garbage nodes (any to any: back edges,
+  // cycles and self-loops all occur).
+  for (std::uint32_t n : pool) {
+    for (Word f = 0; f < p.nodes[n].pi; ++f) {
+      if (rng.uniform01() < cfg.edge_probability) {
+        p.link(n, f, pool[rng.below(pool.size())]);
+      }
+    }
+  }
+
+  for (std::uint32_t r = 0; r < cfg.roots; ++r) {
+    p.add_root(pool[rng.below(pool.size())]);
+  }
+  return p;
+}
+
+}  // namespace hwgc

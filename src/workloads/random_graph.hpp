@@ -1,0 +1,34 @@
+// Random object-graph generation for property-based testing.
+//
+// Produces arbitrary graph plans — including cycles, self-references,
+// shared children, unreachable garbage and degenerate shapes — so the
+// collector invariants (DESIGN.md §8) can be checked over a wide sweep of
+// seeds rather than only on the benchmark shapes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "workloads/graph_plan.hpp"
+
+namespace hwgc {
+
+struct RandomGraphConfig {
+  std::uint32_t nodes = 500;
+  Word max_pi = 6;
+  Word max_delta = 10;
+  /// Probability that a pointer field is linked (to any node, including
+  /// the object itself — cycles and self-loops are intended).
+  double edge_probability = 0.6;
+  /// Fraction of nodes that are never referenced and not rooted: must
+  /// survive as garbage (i.e. must NOT be copied).
+  double garbage_fraction = 0.15;
+  std::uint32_t roots = 4;
+};
+
+/// Builds a random plan. Reachability is whatever the dice decide: some
+/// "live" nodes may still end up unreachable — the verifier snapshot
+/// defines ground truth, so that is fine.
+GraphPlan make_random_plan(std::uint64_t seed, RandomGraphConfig cfg = {});
+
+}  // namespace hwgc

@@ -1,0 +1,112 @@
+// Concurrent collection (Section V-B's "next step"): the mutator keeps
+// running through the hardware read barrier while the coprocessor
+// collects. Its shadow model must agree with the heap afterwards, over a
+// sweep of seeds, core counts and workload shapes.
+#include <gtest/gtest.h>
+
+#include "core/concurrent_cycle.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/random_graph.hpp"
+
+namespace hwgc {
+namespace {
+
+ConcurrentCycle::Config config(std::uint32_t cores, std::uint64_t seed,
+                               std::uint32_t spacing = 2) {
+  ConcurrentCycle::Config cfg;
+  cfg.sim.coprocessor.num_cores = cores;
+  cfg.mutator_seed = seed;
+  cfg.op_spacing = spacing;
+  return cfg;
+}
+
+TEST(Concurrent, MutatorRunsDuringCollection) {
+  Workload w = make_benchmark(BenchmarkId::kDb, 0.05);
+  ConcurrentCycle cycle(config(8, 3), *w.heap);
+  const ConcurrentStats s = cycle.run();
+  EXPECT_GT(s.mutator_ops, 100u) << "mutator must have made real progress";
+  EXPECT_GT(s.gc.objects_copied, 0u);
+  EXPECT_EQ(s.validation_mismatches, 0u);
+  EXPECT_TRUE(s.gc.lock_order_violations.empty());
+}
+
+TEST(Concurrent, ReadBarrierIsExercised) {
+  // Slow collection (1 core) + eager mutator: plenty of gray windows.
+  Workload w = make_benchmark(BenchmarkId::kJavacc, 0.05);
+  ConcurrentCycle cycle(config(1, 5, /*spacing=*/1), *w.heap);
+  const ConcurrentStats s = cycle.run();
+  EXPECT_GT(s.barrier_gray_reads, 0u)
+      << "the mutator should have read gray objects via their backlinks";
+  EXPECT_EQ(s.validation_mismatches, 0u);
+}
+
+TEST(Concurrent, MutatorAllocatesBlackDuringCycle) {
+  Workload w = make_benchmark(BenchmarkId::kJavacc, 0.05);
+  ConcurrentCycle cycle(config(4, 7, 1), *w.heap);
+  const ConcurrentStats s = cycle.run();
+  EXPECT_GT(s.mutator_allocations, 0u);
+  EXPECT_EQ(s.validation_mismatches, 0u);
+}
+
+TEST(Concurrent, PauseIsBoundedByBarrierWorkNotCycleLength) {
+  // The concurrent collector's selling point: the mutator's longest pause
+  // must be orders of magnitude below the cycle duration.
+  Workload w = make_benchmark(BenchmarkId::kDb, 0.1);
+  ConcurrentCycle cycle(config(8, 11), *w.heap);
+  const ConcurrentStats s = cycle.run();
+  EXPECT_GT(s.gc.total_cycles, 10'000u);
+  EXPECT_LT(s.longest_pause, 500u)
+      << "a barrier operation must never stall the mutator for a "
+         "significant fraction of the cycle";
+}
+
+class ConcurrentSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {
+};
+
+TEST_P(ConcurrentSweep, ShadowAgreesWithHeap) {
+  const auto [seed, cores] = GetParam();
+  Workload w = materialize(make_random_plan(seed, {.nodes = 600}));
+  ConcurrentCycle cycle(config(cores, seed * 31 + 1, 1), *w.heap);
+  const ConcurrentStats s = cycle.run();
+  EXPECT_EQ(s.validation_mismatches, 0u)
+      << "seed=" << seed << " cores=" << cores;
+  EXPECT_TRUE(s.gc.lock_order_violations.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConcurrentSweep,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 13),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             "_cores" + std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(Concurrent, TightHeapBacksOffInsteadOfCorrupting) {
+  // A heap with barely any headroom (factor 1.2 over the live set) and an
+  // allocation-eager mutator: admission control must refuse allocations
+  // rather than let the top region collide with the evacuation region.
+  const GraphPlan plan = make_benchmark_plan(BenchmarkId::kJavacc, 0.05);
+  Workload w = materialize(plan, /*heap_factor=*/1.2);
+  ConcurrentCycle cycle(config(2, 19, /*spacing=*/1), *w.heap);
+  const ConcurrentStats s = cycle.run();
+  EXPECT_GT(s.mutator_alloc_backoffs, 0u)
+      << "the tight heap should have forced allocation backoffs";
+  EXPECT_EQ(s.validation_mismatches, 0u);
+}
+
+TEST(Concurrent, ComposesWithExtensions) {
+  Workload w = make_benchmark(BenchmarkId::kCompress, 0.02);
+  ConcurrentCycle::Config cfg = config(8, 13, 1);
+  cfg.sim.coprocessor.subobject_copy = true;
+  cfg.sim.coprocessor.markbit_early_read = true;
+  cfg.sim.memory.header_cache_entries = 1024;
+  ConcurrentCycle cycle(cfg, *w.heap);
+  const ConcurrentStats s = cycle.run();
+  EXPECT_EQ(s.validation_mismatches, 0u);
+  EXPECT_TRUE(s.gc.lock_order_violations.empty());
+}
+
+}  // namespace
+}  // namespace hwgc

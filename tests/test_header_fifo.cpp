@@ -1,0 +1,85 @@
+// Unit tests for the on-chip gray-header FIFO (paper Section V-D).
+#include <gtest/gtest.h>
+
+#include "mem/header_fifo.hpp"
+
+namespace hwgc {
+namespace {
+
+HeaderFifo::Entry entry(Addr a) { return {a, 0x40000u + a, a + 1000}; }
+
+TEST(HeaderFifo, PopInPushOrder) {
+  HeaderFifo fifo(8);
+  EXPECT_TRUE(fifo.push(entry(10)));
+  EXPECT_TRUE(fifo.push(entry(20)));
+  EXPECT_TRUE(fifo.push(entry(30)));
+  HeaderFifo::Entry e;
+  ASSERT_TRUE(fifo.pop(10, e));
+  EXPECT_EQ(e.attributes, 0x40000u + 10);
+  EXPECT_EQ(e.backlink, 1010u);
+  ASSERT_TRUE(fifo.pop(20, e));
+  ASSERT_TRUE(fifo.pop(30, e));
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_EQ(fifo.hits(), 3u);
+  EXPECT_EQ(fifo.misses(), 0u);
+}
+
+TEST(HeaderFifo, OverflowSkipsAndCountsAndLaterHits) {
+  HeaderFifo fifo(2);
+  EXPECT_TRUE(fifo.push(entry(10)));
+  EXPECT_TRUE(fifo.push(entry(20)));
+  EXPECT_FALSE(fifo.push(entry(30)));  // lost to overflow
+  EXPECT_TRUE(fifo.push(entry(40)) == false);  // still full
+  EXPECT_EQ(fifo.overflows(), 2u);
+
+  HeaderFifo::Entry e;
+  EXPECT_TRUE(fifo.pop(10, e));
+  EXPECT_TRUE(fifo.pop(20, e));
+  // 30 was never pushed: a miss, and the FIFO (now holding nothing) must
+  // not be disturbed.
+  EXPECT_FALSE(fifo.pop(30, e));
+  // After the overflow window, pushes succeed again.
+  EXPECT_TRUE(fifo.push(entry(50)));
+  EXPECT_FALSE(fifo.pop(40, e));  // 40 also lost
+  EXPECT_TRUE(fifo.pop(50, e));
+  EXPECT_EQ(fifo.misses(), 2u);
+  EXPECT_EQ(fifo.hits(), 3u);
+}
+
+TEST(HeaderFifo, MissKeepsLaterEntryQueued) {
+  HeaderFifo fifo(1);
+  EXPECT_TRUE(fifo.push(entry(10)));
+  EXPECT_FALSE(fifo.push(entry(20)));  // overflow
+  HeaderFifo::Entry e;
+  // Scan order is 10 then 20: a pop for 20 would be a bug in the caller,
+  // but a pop for 10 hits, and the subsequent 20 misses without popping
+  // anything that belongs to a later frame.
+  EXPECT_TRUE(fifo.pop(10, e));
+  EXPECT_TRUE(fifo.push(entry(30)));
+  EXPECT_FALSE(fifo.pop(20, e));
+  EXPECT_EQ(fifo.size(), 1u);
+  EXPECT_TRUE(fifo.pop(30, e));
+}
+
+TEST(HeaderFifo, ZeroCapacityAlwaysMisses) {
+  HeaderFifo fifo(0);
+  EXPECT_FALSE(fifo.push(entry(10)));
+  HeaderFifo::Entry e;
+  EXPECT_FALSE(fifo.pop(10, e));
+  EXPECT_EQ(fifo.overflows(), 1u);
+  EXPECT_EQ(fifo.misses(), 1u);
+}
+
+TEST(HeaderFifo, CapacityBoundary) {
+  HeaderFifo fifo(3);
+  for (Addr a = 0; a < 3; ++a) EXPECT_TRUE(fifo.push(entry(100 + a * 4)));
+  EXPECT_EQ(fifo.size(), 3u);
+  EXPECT_FALSE(fifo.push(entry(200)));
+  HeaderFifo::Entry e;
+  EXPECT_TRUE(fifo.pop(100, e));
+  EXPECT_TRUE(fifo.push(entry(204)));  // slot freed
+  EXPECT_EQ(fifo.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hwgc

@@ -1,0 +1,107 @@
+// Interoperability: every collector operates on the same heap format, so
+// consecutive cycles may be run by different collectors — the coprocessor,
+// the sequential reference and the software baselines must all accept a
+// heap the others produced.
+#include <gtest/gtest.h>
+
+#include "baselines/chunked_copying.hpp"
+#include "baselines/naive_parallel.hpp"
+#include "baselines/sequential_cheney.hpp"
+#include "baselines/work_packets.hpp"
+#include "baselines/work_stealing.hpp"
+#include "core/coprocessor.hpp"
+#include "heap/verifier.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace hwgc {
+namespace {
+
+TEST(Interop, AlternatingCollectorsPreserveTheGraph) {
+  Workload w = make_benchmark(BenchmarkId::kJavacc, 0.02);
+  Heap& heap = *w.heap;
+
+  // Cycle 1: coprocessor.
+  {
+    const HeapSnapshot pre = HeapSnapshot::capture(heap);
+    SimConfig cfg;
+    cfg.coprocessor.num_cores = 8;
+    Coprocessor coproc(cfg, heap);
+    coproc.collect();
+    EXPECT_TRUE(verify_collection(pre, heap).ok);
+  }
+  // Cycle 2: sequential software Cheney on the coprocessor's output.
+  {
+    const HeapSnapshot pre = HeapSnapshot::capture(heap);
+    SequentialCheney::collect(heap);
+    EXPECT_TRUE(verify_collection(pre, heap).ok);
+  }
+  // Cycle 3: work-stealing (leaves LAB holes).
+  {
+    const HeapSnapshot pre = HeapSnapshot::capture(heap);
+    WorkStealingCollector({.threads = 4}).collect(heap);
+    EXPECT_TRUE(verify_collection(pre, heap, {.require_dense = false}).ok);
+  }
+  // Cycle 4: the coprocessor must accept the non-dense heap the
+  // work-stealing collector left behind (holes are garbage words between
+  // live objects — never reachable, never touched).
+  {
+    const HeapSnapshot pre = HeapSnapshot::capture(heap);
+    SimConfig cfg;
+    cfg.coprocessor.num_cores = 4;
+    Coprocessor coproc(cfg, heap);
+    coproc.collect();
+    const VerifyResult res = verify_collection(pre, heap);
+    EXPECT_TRUE(res.ok) << res.summary();
+  }
+  // Cycle 5: chunked, then packets, to round out the matrix.
+  {
+    const HeapSnapshot pre = HeapSnapshot::capture(heap);
+    ChunkedCopyingCollector({.threads = 4}).collect(heap);
+    EXPECT_TRUE(verify_collection(pre, heap, {.require_dense = false}).ok);
+  }
+  {
+    const HeapSnapshot pre = HeapSnapshot::capture(heap);
+    WorkPacketCollector({.threads = 4}).collect(heap);
+    EXPECT_TRUE(verify_collection(pre, heap).ok);
+  }
+}
+
+TEST(Interop, AllCollectorsProduceTheSameLiveSet) {
+  const GraphPlan plan = make_benchmark_plan(BenchmarkId::kDb, 0.01);
+  std::uint64_t expected = 0;
+  {
+    Workload w = materialize(plan);
+    const SequentialGcStats s = SequentialCheney::collect(*w.heap);
+    expected = s.objects_copied;
+  }
+  {
+    Workload w = materialize(plan);
+    SimConfig cfg;
+    cfg.coprocessor.num_cores = 16;
+    Coprocessor coproc(cfg, *w.heap);
+    EXPECT_EQ(coproc.collect().objects_copied, expected);
+  }
+  {
+    Workload w = materialize(plan);
+    EXPECT_EQ(NaiveParallelCheney({.threads = 8}).collect(*w.heap).objects_copied,
+              expected);
+  }
+  {
+    Workload w = materialize(plan);
+    EXPECT_EQ(ChunkedCopyingCollector({.threads = 8}).collect(*w.heap).objects_copied,
+              expected);
+  }
+  {
+    Workload w = materialize(plan);
+    EXPECT_EQ(WorkPacketCollector({.threads = 8}).collect(*w.heap).objects_copied,
+              expected);
+  }
+  {
+    Workload w = materialize(plan);
+    EXPECT_EQ(WorkStealingCollector({.threads = 8}).collect(*w.heap).objects_copied,
+              expected);
+  }
+}
+
+}  // namespace
+}  // namespace hwgc

@@ -1,0 +1,80 @@
+// Unit tests for the object header encoding and field addressing
+// (paper Figures 3 and 4).
+#include <gtest/gtest.h>
+
+#include "heap/object_model.hpp"
+
+namespace hwgc {
+namespace {
+
+TEST(ObjectModel, AttributesRoundTripBasic) {
+  const Word attrs = make_attributes(3, 17);
+  EXPECT_EQ(pi_of(attrs), 3u);
+  EXPECT_EQ(delta_of(attrs), 17u);
+  EXPECT_FALSE(is_forwarded(attrs));
+  EXPECT_FALSE(is_black(attrs));
+}
+
+TEST(ObjectModel, FlagsAreIndependentOfShape) {
+  const Word attrs = make_attributes(7, 9);
+  const Word fwd = attrs | kForwardedBit;
+  const Word blk = attrs | kBlackBit;
+  EXPECT_TRUE(is_forwarded(fwd));
+  EXPECT_FALSE(is_black(fwd));
+  EXPECT_TRUE(is_black(blk));
+  EXPECT_FALSE(is_forwarded(blk));
+  EXPECT_EQ(pi_of(fwd), 7u);
+  EXPECT_EQ(delta_of(fwd), 9u);
+  EXPECT_EQ(pi_of(blk), 7u);
+  EXPECT_EQ(delta_of(blk), 9u);
+}
+
+TEST(ObjectModel, ExtremeShapes) {
+  const Word attrs = make_attributes(kMaxPi, kMaxDelta);
+  EXPECT_EQ(pi_of(attrs), kMaxPi);
+  EXPECT_EQ(delta_of(attrs), kMaxDelta);
+  EXPECT_FALSE(is_forwarded(attrs));
+  EXPECT_FALSE(is_black(attrs));
+  EXPECT_EQ(object_words(attrs), kHeaderWords + kMaxPi + kMaxDelta);
+
+  const Word empty = make_attributes(0, 0);
+  EXPECT_EQ(object_words(empty), kHeaderWords);
+}
+
+TEST(ObjectModel, FieldAddressing) {
+  const Addr obj = 0x1000;
+  EXPECT_EQ(attributes_addr(obj), 0x1000u);
+  EXPECT_EQ(link_addr(obj), 0x1001u);
+  EXPECT_EQ(pointer_field_addr(obj, 0), 0x1002u);
+  EXPECT_EQ(pointer_field_addr(obj, 4), 0x1006u);
+  // Data area starts right after the pointer area (Figure 3).
+  EXPECT_EQ(data_field_addr(obj, /*pi=*/5, /*j=*/0), 0x1007u);
+  EXPECT_EQ(data_field_addr(obj, 5, 2), 0x1009u);
+}
+
+// Property sweep: encode/decode is lossless for every (pi, delta) on a
+// coarse lattice covering the full encodable range.
+class AttributeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Word, Word>> {};
+
+TEST_P(AttributeRoundTrip, Lossless) {
+  const auto [pi, delta] = GetParam();
+  for (Word flags : {Word{0}, kForwardedBit, kBlackBit,
+                     Word{kForwardedBit | kBlackBit}}) {
+    const Word attrs = make_attributes(pi, delta, flags);
+    EXPECT_EQ(pi_of(attrs), pi);
+    EXPECT_EQ(delta_of(attrs), delta);
+    EXPECT_EQ(is_forwarded(attrs), (flags & kForwardedBit) != 0);
+    EXPECT_EQ(is_black(attrs), (flags & kBlackBit) != 0);
+    EXPECT_EQ(object_words(attrs), kHeaderWords + pi + delta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, AttributeRoundTrip,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u, 63u, 1024u, kMaxPi),
+                       ::testing::Values(0u, 1u, 7u, 255u, 65536u,
+                                         kMaxDelta)));
+
+}  // namespace
+}  // namespace hwgc

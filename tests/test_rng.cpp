@@ -1,0 +1,70 @@
+// Deterministic RNG used by every workload generator.
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace hwgc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds must give different streams";
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(3, 6);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 6u);
+    hit_lo |= v == 3;
+    hit_hi |= v == 6;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitMixExpandsSeeds) {
+  std::uint64_t s1 = 1, s2 = 2;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s1, 1u) << "state must advance";
+}
+
+}  // namespace
+}  // namespace hwgc

@@ -1,0 +1,105 @@
+// Runtime facade + multi-cycle integration: the shadow mutator churns the
+// heap through many coprocessor collection cycles and the heap must agree
+// with the shadow graph afterwards — the strongest end-to-end property in
+// the suite (object identity, shape, data and links across moves).
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "workloads/mutator.hpp"
+
+namespace hwgc {
+namespace {
+
+TEST(Runtime, AllocateAndAccess) {
+  Runtime rt(1 << 16);
+  auto a = rt.alloc(2, 3);
+  auto b = rt.alloc(0, 1);
+  rt.set_ptr(a, 0, b);
+  rt.set_data(a, 2, 0xdeadbeef);
+  rt.set_data(b, 0, 42);
+  EXPECT_EQ(rt.pi(a), 2u);
+  EXPECT_EQ(rt.delta(a), 3u);
+  EXPECT_EQ(rt.get_data(a, 2), 0xdeadbeefu);
+  auto b2 = rt.load_ptr(a, 0);
+  EXPECT_EQ(rt.get_data(b2, 0), 42u);
+  auto nul = rt.load_ptr(a, 1);
+  EXPECT_TRUE(nul.is_null());
+}
+
+TEST(Runtime, SurvivesExplicitCollection) {
+  Runtime rt(1 << 14);
+  auto a = rt.alloc(1, 2);
+  auto b = rt.alloc(0, 2);
+  rt.set_ptr(a, 0, b);
+  rt.set_data(b, 0, 7);
+  rt.set_data(b, 1, 9);
+  const Addr before = rt.address_of(a);
+  rt.collect();
+  EXPECT_NE(rt.address_of(a), before) << "copying GC must move the object";
+  auto b2 = rt.load_ptr(a, 0);
+  EXPECT_EQ(rt.get_data(b2, 0), 7u);
+  EXPECT_EQ(rt.get_data(b2, 1), 9u);
+  EXPECT_EQ(rt.gc_history().size(), 1u);
+}
+
+TEST(Runtime, CollectsAutomaticallyOnExhaustion) {
+  Runtime rt(2048);
+  // Allocate and drop garbage until well past several semispaces' worth.
+  std::uint64_t allocated_words = 0;
+  for (int i = 0; i < 600; ++i) {
+    auto r = rt.alloc(0, 8);
+    allocated_words += 10;
+    rt.release(r);
+  }
+  EXPECT_GE(rt.gc_history().size(), 2u)
+      << "dropping garbage must have triggered collections";
+}
+
+TEST(Runtime, ThrowsWhenLiveSetExceedsHeap) {
+  Runtime rt(256);
+  std::vector<Runtime::Ref> pins;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 100; ++i) pins.push_back(rt.alloc(0, 16));
+      },
+      std::runtime_error);
+}
+
+struct MutatorCase {
+  std::uint32_t cores;
+  std::uint64_t seed;
+  std::size_t steps;
+};
+
+class ShadowMutatorChurn : public ::testing::TestWithParam<MutatorCase> {};
+
+TEST_P(ShadowMutatorChurn, HeapMatchesShadowAfterManyCycles) {
+  const MutatorCase param = GetParam();
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = param.cores;
+  Runtime rt(2200, cfg);  // small semispace: forces frequent collections
+  ShadowMutator mut({.seed = param.seed, .target_live = 48});
+  mut.run(rt, param.steps);
+  EXPECT_GE(rt.gc_history().size(), 3u)
+      << "test must actually exercise several collection cycles";
+  EXPECT_EQ(mut.validate(rt), 0u);
+  // And survive one more forced collection right after validation.
+  rt.collect();
+  EXPECT_EQ(mut.validate(rt), 0u);
+  for (const auto& cycle : rt.gc_history()) {
+    EXPECT_TRUE(cycle.lock_order_violations.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Churn, ShadowMutatorChurn,
+    ::testing::Values(MutatorCase{1, 7, 8000}, MutatorCase{2, 11, 8000},
+                      MutatorCase{4, 13, 10000}, MutatorCase{8, 17, 10000},
+                      MutatorCase{16, 23, 12000}),
+    [](const auto& param_info) {
+      return "cores" + std::to_string(param_info.param.cores) + "_seed" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace hwgc

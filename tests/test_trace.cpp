@@ -1,0 +1,115 @@
+// Signal tracing (the FPGA monitoring framework's software twin) and its
+// integration with the coprocessor.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/coprocessor.hpp"
+#include "sim/trace.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace hwgc {
+namespace {
+
+TEST(SignalTrace, DisabledTraceRecordsNothing) {
+  SignalTrace trace;
+  const auto sig = trace.register_signal("x");
+  trace.sample(1, sig, 42);
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(SignalTrace, RecordsInOrderWhenEnabled) {
+  SignalTrace trace;
+  const auto a = trace.register_signal("a");
+  const auto b = trace.register_signal("b");
+  trace.enable();
+  trace.sample(5, a, 1);
+  trace.sample(6, b, 2);
+  trace.sample(9, a, 3);
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].cycle, 5u);
+  EXPECT_EQ(trace.events()[2].value, 3u);
+  EXPECT_EQ(trace.signal_names()[b], "b");
+}
+
+TEST(SignalTrace, BoundedRingDropsOldest) {
+  SignalTrace trace;
+  const auto sig = trace.register_signal("s");
+  trace.enable(/*max_events=*/4);
+  for (Cycle t = 0; t < 10; ++t) trace.sample(t, sig, t);
+  ASSERT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.events().front().cycle, 6u);
+  EXPECT_EQ(trace.events().back().cycle, 9u);
+}
+
+TEST(SignalTrace, WritesCsv) {
+  SignalTrace trace;
+  const auto sig = trace.register_signal("scan");
+  trace.enable();
+  trace.sample(1, sig, 100);
+  trace.sample(2, sig, 105);
+  const std::string path = ::testing::TempDir() + "/hwgc_trace_test.csv";
+  ASSERT_TRUE(trace.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "cycle,signal,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,scan,100");
+  std::remove(path.c_str());
+}
+
+TEST(SignalTrace, WritesVcd) {
+  SignalTrace trace;
+  const auto scan = trace.register_signal("scan");
+  const auto busy = trace.register_signal("busy");
+  trace.enable();
+  trace.sample(3, scan, 0x10);
+  trace.sample(3, busy, 1);
+  trace.sample(7, scan, 0x18);
+  const std::string path = ::testing::TempDir() + "/hwgc_trace_test.vcd";
+  ASSERT_TRUE(trace.write_vcd(path));
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("$var wire 64 ! scan $end"), std::string::npos);
+  EXPECT_NE(all.find("$var wire 64 \" busy $end"), std::string::npos);
+  EXPECT_NE(all.find("#3\n"), std::string::npos);
+  EXPECT_NE(all.find("#7\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SignalTrace, CoprocessorEmitsScanFreeAndBusySignals) {
+  Workload w = make_benchmark(BenchmarkId::kJlisp, 0.02);
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  Coprocessor coproc(cfg, *w.heap);
+  SignalTrace trace;
+  const GcCycleStats s = coproc.collect(&trace);
+  EXPECT_GT(trace.events().size(), 10u);
+  // scan and free must both end at the same final value: base + copied.
+  std::uint64_t last_scan = 0, last_free = 0;
+  for (const auto& e : trace.events()) {
+    if (trace.signal_names()[e.signal] == "scan") last_scan = e.value;
+    if (trace.signal_names()[e.signal] == "free") last_free = e.value;
+  }
+  EXPECT_EQ(last_scan, last_free);
+  EXPECT_EQ(last_free - w.heap->layout().current_base(), s.words_copied);
+}
+
+TEST(SignalTrace, TracingDoesNotChangeTiming) {
+  Workload w1 = make_benchmark(BenchmarkId::kJavacc, 0.02);
+  Workload w2 = make_benchmark(BenchmarkId::kJavacc, 0.02);
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 8;
+  Coprocessor c1(cfg, *w1.heap);
+  Coprocessor c2(cfg, *w2.heap);
+  SignalTrace trace;
+  const Cycle with = c1.collect(&trace).total_cycles;
+  const Cycle without = c2.collect().total_cycles;
+  EXPECT_EQ(with, without) << "the monitor must be non-intrusive";
+}
+
+}  // namespace
+}  // namespace hwgc

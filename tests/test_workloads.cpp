@@ -1,0 +1,123 @@
+// Workload substrate: graph plans, materialization and the eight
+// benchmark-shape generators.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "heap/object_model.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/random_graph.hpp"
+
+namespace hwgc {
+namespace {
+
+TEST(GraphPlan, CountsLiveAndGarbage) {
+  GraphPlan p;
+  p.add(2, 3);
+  p.add(0, 0, /*garbage=*/true);
+  p.add(1, 1);
+  EXPECT_EQ(p.live_nodes(), 2u);
+  EXPECT_EQ(p.live_words(), object_words(2, 3) + object_words(1, 1));
+  EXPECT_EQ(p.total_words(), p.live_words() + object_words(0, 0));
+}
+
+TEST(Materialize, HeapHoldsPlanExactly) {
+  GraphPlan p;
+  const auto a = p.add(2, 1);
+  const auto b = p.add(0, 2);
+  p.link(a, 1, b);
+  p.add_root(a);
+  Workload w = materialize(p);
+  ASSERT_EQ(w.node_addrs.size(), 2u);
+  const Addr aa = w.node_addrs[a];
+  const Addr bb = w.node_addrs[b];
+  EXPECT_EQ(w.heap->pi(aa), 2u);
+  EXPECT_EQ(w.heap->pointer(aa, 0), kNullPtr);
+  EXPECT_EQ(w.heap->pointer(aa, 1), bb);
+  ASSERT_EQ(w.heap->roots().size(), 1u);
+  EXPECT_EQ(w.heap->roots()[0], aa);
+  EXPECT_EQ(w.live_words, p.live_words());
+}
+
+TEST(Materialize, HeapFactorSizesSemispace) {
+  GraphPlan p;
+  p.add(0, 100);
+  p.add_root(0);
+  Workload w2 = materialize(p, 2.0);
+  Workload w8 = materialize(p, 8.0);
+  EXPECT_GE(w2.heap->layout().semispace_words(), 2 * p.live_words());
+  EXPECT_GE(w8.heap->layout().semispace_words(), 8 * p.live_words());
+  EXPECT_GT(w8.heap->layout().semispace_words(),
+            w2.heap->layout().semispace_words());
+}
+
+TEST(Benchmarks, AllNamesRoundTrip) {
+  EXPECT_EQ(all_benchmarks().size(), 8u);
+  std::unordered_set<std::string_view> names;
+  for (BenchmarkId id : all_benchmarks()) names.insert(benchmark_name(id));
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_TRUE(names.contains("compress"));
+  EXPECT_TRUE(names.contains("search"));
+  EXPECT_TRUE(names.contains("cup"));
+}
+
+TEST(Benchmarks, DeterministicForSeed) {
+  for (BenchmarkId id : all_benchmarks()) {
+    const GraphPlan a = make_benchmark_plan(id, 0.01, 7);
+    const GraphPlan b = make_benchmark_plan(id, 0.01, 7);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size()) << benchmark_name(id);
+    ASSERT_EQ(a.edges.size(), b.edges.size());
+    for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+      ASSERT_EQ(a.nodes[i].pi, b.nodes[i].pi);
+      ASSERT_EQ(a.nodes[i].delta, b.nodes[i].delta);
+    }
+  }
+}
+
+TEST(Benchmarks, ScaleGrowsLiveSet) {
+  for (BenchmarkId id : all_benchmarks()) {
+    const GraphPlan small = make_benchmark_plan(id, 0.01);
+    const GraphPlan large = make_benchmark_plan(id, 0.05);
+    EXPECT_GT(large.live_words(), small.live_words()) << benchmark_name(id);
+  }
+}
+
+TEST(Benchmarks, EdgesRespectPointerAreas) {
+  for (BenchmarkId id : all_benchmarks()) {
+    const GraphPlan p = make_benchmark_plan(id, 0.02);
+    for (const auto& e : p.edges) {
+      ASSERT_LT(e.src, p.nodes.size()) << benchmark_name(id);
+      ASSERT_LT(e.dst, p.nodes.size());
+      ASSERT_LT(e.field, p.nodes[e.src].pi)
+          << benchmark_name(id) << ": edge into a non-pointer field";
+    }
+    for (const auto& n : p.nodes) {
+      ASSERT_LE(n.pi, kMaxPi) << benchmark_name(id);
+      ASSERT_LE(n.delta, kMaxDelta);
+    }
+    ASSERT_FALSE(p.roots.empty()) << benchmark_name(id);
+  }
+}
+
+TEST(Benchmarks, RejectsNonPositiveScale) {
+  EXPECT_THROW(make_benchmark_plan(BenchmarkId::kDb, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_benchmark_plan(BenchmarkId::kDb, -1.0),
+               std::invalid_argument);
+}
+
+TEST(RandomGraph, DeterministicAndInBounds) {
+  const GraphPlan a = make_random_plan(3);
+  const GraphPlan b = make_random_plan(3);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (const auto& e : a.edges) {
+    ASSERT_LT(e.field, a.nodes[e.src].pi);
+    ASSERT_FALSE(a.nodes[e.dst].garbage) << "edges must target live nodes";
+  }
+  const GraphPlan c = make_random_plan(4);
+  EXPECT_NE(a.edges.size(), c.edges.size());
+}
+
+}  // namespace
+}  // namespace hwgc
