@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bandwidth_ablation.dir/bench_bandwidth_ablation.cpp.o"
+  "CMakeFiles/bench_bandwidth_ablation.dir/bench_bandwidth_ablation.cpp.o.d"
+  "bench_bandwidth_ablation"
+  "bench_bandwidth_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bandwidth_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

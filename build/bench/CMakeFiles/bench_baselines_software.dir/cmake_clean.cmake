@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baselines_software.dir/bench_baselines_software.cpp.o"
+  "CMakeFiles/bench_baselines_software.dir/bench_baselines_software.cpp.o.d"
+  "bench_baselines_software"
+  "bench_baselines_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baselines_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fifo_ablation.dir/bench_fifo_ablation.cpp.o"
+  "CMakeFiles/bench_fifo_ablation.dir/bench_fifo_ablation.cpp.o.d"
+  "bench_fifo_ablation"
+  "bench_fifo_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifo_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

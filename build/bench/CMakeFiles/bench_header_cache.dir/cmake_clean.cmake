@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_header_cache.dir/bench_header_cache.cpp.o"
+  "CMakeFiles/bench_header_cache.dir/bench_header_cache.cpp.o.d"
+  "bench_header_cache"
+  "bench_header_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_header_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_markbit_optimization.dir/bench_markbit_optimization.cpp.o"
+  "CMakeFiles/bench_markbit_optimization.dir/bench_markbit_optimization.cpp.o.d"
+  "bench_markbit_optimization"
+  "bench_markbit_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_markbit_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

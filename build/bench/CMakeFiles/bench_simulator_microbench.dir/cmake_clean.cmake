@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_microbench.dir/bench_simulator_microbench.cpp.o"
+  "CMakeFiles/bench_simulator_microbench.dir/bench_simulator_microbench.cpp.o.d"
+  "bench_simulator_microbench"
+  "bench_simulator_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

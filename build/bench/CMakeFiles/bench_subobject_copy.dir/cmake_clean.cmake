@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subobject_copy.dir/bench_subobject_copy.cpp.o"
+  "CMakeFiles/bench_subobject_copy.dir/bench_subobject_copy.cpp.o.d"
+  "bench_subobject_copy"
+  "bench_subobject_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subobject_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

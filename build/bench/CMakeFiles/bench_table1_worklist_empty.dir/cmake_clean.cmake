@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_worklist_empty.dir/bench_table1_worklist_empty.cpp.o"
+  "CMakeFiles/bench_table1_worklist_empty.dir/bench_table1_worklist_empty.cpp.o.d"
+  "bench_table1_worklist_empty"
+  "bench_table1_worklist_empty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_worklist_empty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcsim.dir/gcsim.cpp.o"
+  "CMakeFiles/gcsim.dir/gcsim.cpp.o.d"
+  "gcsim"
+  "gcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lisp_interpreter.dir/lisp_interpreter.cpp.o"
+  "CMakeFiles/lisp_interpreter.dir/lisp_interpreter.cpp.o.d"
+  "lisp_interpreter"
+  "lisp_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lisp_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

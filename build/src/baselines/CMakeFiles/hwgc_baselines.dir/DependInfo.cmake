@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/chunked_copying.cpp" "src/baselines/CMakeFiles/hwgc_baselines.dir/chunked_copying.cpp.o" "gcc" "src/baselines/CMakeFiles/hwgc_baselines.dir/chunked_copying.cpp.o.d"
+  "/root/repo/src/baselines/naive_parallel.cpp" "src/baselines/CMakeFiles/hwgc_baselines.dir/naive_parallel.cpp.o" "gcc" "src/baselines/CMakeFiles/hwgc_baselines.dir/naive_parallel.cpp.o.d"
+  "/root/repo/src/baselines/sequential_cheney.cpp" "src/baselines/CMakeFiles/hwgc_baselines.dir/sequential_cheney.cpp.o" "gcc" "src/baselines/CMakeFiles/hwgc_baselines.dir/sequential_cheney.cpp.o.d"
+  "/root/repo/src/baselines/work_packets.cpp" "src/baselines/CMakeFiles/hwgc_baselines.dir/work_packets.cpp.o" "gcc" "src/baselines/CMakeFiles/hwgc_baselines.dir/work_packets.cpp.o.d"
+  "/root/repo/src/baselines/work_stealing.cpp" "src/baselines/CMakeFiles/hwgc_baselines.dir/work_stealing.cpp.o" "gcc" "src/baselines/CMakeFiles/hwgc_baselines.dir/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/hwgc_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_baselines.dir/chunked_copying.cpp.o"
+  "CMakeFiles/hwgc_baselines.dir/chunked_copying.cpp.o.d"
+  "CMakeFiles/hwgc_baselines.dir/naive_parallel.cpp.o"
+  "CMakeFiles/hwgc_baselines.dir/naive_parallel.cpp.o.d"
+  "CMakeFiles/hwgc_baselines.dir/sequential_cheney.cpp.o"
+  "CMakeFiles/hwgc_baselines.dir/sequential_cheney.cpp.o.d"
+  "CMakeFiles/hwgc_baselines.dir/work_packets.cpp.o"
+  "CMakeFiles/hwgc_baselines.dir/work_packets.cpp.o.d"
+  "CMakeFiles/hwgc_baselines.dir/work_stealing.cpp.o"
+  "CMakeFiles/hwgc_baselines.dir/work_stealing.cpp.o.d"
+  "libhwgc_baselines.a"
+  "libhwgc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

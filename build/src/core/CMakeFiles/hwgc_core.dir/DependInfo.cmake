@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/concurrent_cycle.cpp" "src/core/CMakeFiles/hwgc_core.dir/concurrent_cycle.cpp.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/concurrent_cycle.cpp.o.d"
+  "/root/repo/src/core/coprocessor.cpp" "src/core/CMakeFiles/hwgc_core.dir/coprocessor.cpp.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/coprocessor.cpp.o.d"
+  "/root/repo/src/core/gc_core.cpp" "src/core/CMakeFiles/hwgc_core.dir/gc_core.cpp.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/gc_core.cpp.o.d"
+  "/root/repo/src/core/sync_block.cpp" "src/core/CMakeFiles/hwgc_core.dir/sync_block.cpp.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/sync_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/hwgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwgc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

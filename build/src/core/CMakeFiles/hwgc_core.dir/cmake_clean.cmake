@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_core.dir/concurrent_cycle.cpp.o"
+  "CMakeFiles/hwgc_core.dir/concurrent_cycle.cpp.o.d"
+  "CMakeFiles/hwgc_core.dir/coprocessor.cpp.o"
+  "CMakeFiles/hwgc_core.dir/coprocessor.cpp.o.d"
+  "CMakeFiles/hwgc_core.dir/gc_core.cpp.o"
+  "CMakeFiles/hwgc_core.dir/gc_core.cpp.o.d"
+  "CMakeFiles/hwgc_core.dir/sync_block.cpp.o"
+  "CMakeFiles/hwgc_core.dir/sync_block.cpp.o.d"
+  "libhwgc_core.a"
+  "libhwgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_heap.dir/heap.cpp.o"
+  "CMakeFiles/hwgc_heap.dir/heap.cpp.o.d"
+  "CMakeFiles/hwgc_heap.dir/verifier.cpp.o"
+  "CMakeFiles/hwgc_heap.dir/verifier.cpp.o.d"
+  "libhwgc_heap.a"
+  "libhwgc_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/hwgc_mem.dir/memory_system.cpp.o.d"
+  "libhwgc_mem.a"
+  "libhwgc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

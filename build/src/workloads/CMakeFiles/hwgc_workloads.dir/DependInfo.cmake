@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmarks.cpp" "src/workloads/CMakeFiles/hwgc_workloads.dir/benchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/hwgc_workloads.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/workloads/graph_plan.cpp" "src/workloads/CMakeFiles/hwgc_workloads.dir/graph_plan.cpp.o" "gcc" "src/workloads/CMakeFiles/hwgc_workloads.dir/graph_plan.cpp.o.d"
+  "/root/repo/src/workloads/mutator.cpp" "src/workloads/CMakeFiles/hwgc_workloads.dir/mutator.cpp.o" "gcc" "src/workloads/CMakeFiles/hwgc_workloads.dir/mutator.cpp.o.d"
+  "/root/repo/src/workloads/random_graph.cpp" "src/workloads/CMakeFiles/hwgc_workloads.dir/random_graph.cpp.o" "gcc" "src/workloads/CMakeFiles/hwgc_workloads.dir/random_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/heap/CMakeFiles/hwgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hwgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hwgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwgc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/hwgc_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/hwgc_workloads.dir/graph_plan.cpp.o"
+  "CMakeFiles/hwgc_workloads.dir/graph_plan.cpp.o.d"
+  "CMakeFiles/hwgc_workloads.dir/mutator.cpp.o"
+  "CMakeFiles/hwgc_workloads.dir/mutator.cpp.o.d"
+  "CMakeFiles/hwgc_workloads.dir/random_graph.cpp.o"
+  "CMakeFiles/hwgc_workloads.dir/random_graph.cpp.o.d"
+  "libhwgc_workloads.a"
+  "libhwgc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/test_calibration.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_calibration.dir/test_calibration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hwgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/hwgc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwgc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hwgc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hwgc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hwgc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coprocessor.dir/test_coprocessor.cpp.o"
+  "CMakeFiles/test_coprocessor.dir/test_coprocessor.cpp.o.d"
+  "test_coprocessor"
+  "test_coprocessor.pdb"
+  "test_coprocessor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

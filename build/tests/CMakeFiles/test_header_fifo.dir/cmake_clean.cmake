@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_header_fifo.dir/test_header_fifo.cpp.o"
+  "CMakeFiles/test_header_fifo.dir/test_header_fifo.cpp.o.d"
+  "test_header_fifo"
+  "test_header_fifo.pdb"
+  "test_header_fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_header_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_block.dir/test_sync_block.cpp.o"
+  "CMakeFiles/test_sync_block.dir/test_sync_block.cpp.o.d"
+  "test_sync_block"
+  "test_sync_block.pdb"
+  "test_sync_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_object_model[1]_include.cmake")
+include("/root/repo/build/tests/test_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_system[1]_include.cmake")
+include("/root/repo/build/tests/test_header_fifo[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_block[1]_include.cmake")
+include("/root/repo/build/tests/test_verifier[1]_include.cmake")
+include("/root/repo/build/tests/test_coprocessor[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_config_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_interop[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
