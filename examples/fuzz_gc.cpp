@@ -1,0 +1,199 @@
+// fuzz_gc — schedule-exploration fuzzing driver.
+//
+// Runs fuzzed (graph × schedule × core-count) configurations through the
+// differential oracle (src/fuzz/oracle.hpp): every case is collected by
+// the coprocessor simulator under a pluggable step-order policy and by the
+// sequential Cheney reference, and the two results are cross-checked.
+//
+// Modes:
+//   fuzz_gc --seed 7 --count 100        # 100 cases derived from seeds 7..106
+//   fuzz_gc --seed 7 --count 1 -v       # one case, full stats digest
+//   fuzz_gc --graph-seed 9 --schedule adversarial --cores 3 ...
+//                                       # replay an explicit (minimized) case
+//
+// Every run is deterministic: the same flags reproduce the same collection
+// bit-for-bit. On failure the driver minimizes the reproducer (greedy
+// shrinking while the oracle still fails), prints the failing schedule
+// tail and exits nonzero.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/schedule_policy.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: fuzz_gc [options]\n"
+      "  --seed N           master seed; the whole case derives from it\n"
+      "  --count N          number of cases to run (seeds N..N+count-1, default 25)\n"
+      "  --no-minimize      skip reproducer minimization on failure\n"
+      "  -v, --verbose      print a stats digest for passing cases too\n"
+      "explicit-case flags (replay a minimized reproducer; disable derivation):\n"
+      "  --graph-seed N --schedule fixed|rotating|random|adversarial\n"
+      "  --schedule-seed N --cores N --fifo N --jitter N --subobject --earlyread\n"
+      "  --min-nodes N --max-nodes N --max-pi N --max-delta N --edge-prob X\n"
+      "  --garbage X --huge-frac X --huge-delta N --hubs N --mutation X\n"
+      "  --max-roots N\n";
+}
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint32_t count = 25;
+  bool minimize = true;
+  bool verbose = false;
+  bool explicit_case = false;
+  hwgc::FuzzCase fc;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto u64 = [&] { return std::strtoull(next(i), nullptr, 0); };
+    const auto f64 = [&] { return std::strtod(next(i), nullptr); };
+    if (a == "--seed") {
+      opt.seed = u64();
+    } else if (a == "--count") {
+      opt.count = static_cast<std::uint32_t>(u64());
+    } else if (a == "--no-minimize") {
+      opt.minimize = false;
+    } else if (a == "-v" || a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "--graph-seed") {
+      opt.fc.graph_seed = u64();
+      opt.explicit_case = true;
+    } else if (a == "--schedule") {
+      if (!hwgc::parse_schedule_policy(next(i), opt.fc.schedule)) {
+        std::cerr << "unknown schedule policy\n";
+        return false;
+      }
+      opt.explicit_case = true;
+    } else if (a == "--schedule-seed") {
+      opt.fc.schedule_seed = u64();
+      opt.explicit_case = true;
+    } else if (a == "--cores") {
+      opt.fc.num_cores = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--fifo") {
+      opt.fc.header_fifo_capacity = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--jitter") {
+      opt.fc.latency_jitter = u64();
+      opt.explicit_case = true;
+    } else if (a == "--subobject") {
+      opt.fc.subobject_copy = true;
+      opt.explicit_case = true;
+    } else if (a == "--earlyread") {
+      opt.fc.markbit_early_read = true;
+      opt.explicit_case = true;
+    } else if (a == "--min-nodes") {
+      opt.fc.graph.min_nodes = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--max-nodes") {
+      opt.fc.graph.max_nodes = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--max-pi") {
+      opt.fc.graph.max_pi = static_cast<hwgc::Word>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--max-delta") {
+      opt.fc.graph.max_delta = static_cast<hwgc::Word>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--edge-prob") {
+      opt.fc.graph.edge_probability = f64();
+      opt.explicit_case = true;
+    } else if (a == "--garbage") {
+      opt.fc.graph.garbage_fraction = f64();
+      opt.explicit_case = true;
+    } else if (a == "--huge-frac") {
+      opt.fc.graph.huge_fraction = f64();
+      opt.explicit_case = true;
+    } else if (a == "--huge-delta") {
+      opt.fc.graph.huge_delta = static_cast<hwgc::Word>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--hubs") {
+      opt.fc.graph.hubs = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--mutation") {
+      opt.fc.graph.mutation_fraction = f64();
+      opt.explicit_case = true;
+    } else if (a == "--max-roots") {
+      opt.fc.graph.max_roots = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs one case; on failure prints the verdict, minimizes and prints the
+/// replay flags. Returns true when the oracle passed.
+bool run_one(const hwgc::FuzzCase& fc, const std::string& label,
+             const Options& opt) {
+  const hwgc::FuzzVerdict v = hwgc::run_fuzz_case(fc);
+  if (v.ok) {
+    if (opt.verbose) {
+      std::cout << label << " ok: live=" << v.live_objects
+                << " cycles=" << v.coproc.total_cycles
+                << " words=" << v.coproc.words_copied
+                << " mem=" << v.coproc.mem_requests
+                << " fifo_miss=" << v.coproc.fifo_misses << "  [" << fc.summary()
+                << "]\n";
+    }
+    return true;
+  }
+  std::cout << label << " FAILED\n" << v.summary() << "\n";
+  std::cout << "repro: fuzz_gc " << fc.summary() << "\n";
+  if (opt.minimize) {
+    const hwgc::FuzzCase small = hwgc::minimize_case(fc);
+    std::cout << "minimized: fuzz_gc " << small.summary() << "\n";
+    const hwgc::FuzzVerdict mv = hwgc::run_fuzz_case(small);
+    if (!mv.ok) std::cout << mv.summary() << "\n";
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  std::uint32_t failures = 0;
+  if (opt.explicit_case) {
+    if (!run_one(opt.fc, "case[explicit]", opt)) ++failures;
+  } else {
+    for (std::uint32_t k = 0; k < opt.count; ++k) {
+      const std::uint64_t master = opt.seed + k;
+      const hwgc::FuzzCase fc = hwgc::case_from_seed(master);
+      if (!run_one(fc, "case[seed=" + std::to_string(master) + "]", opt)) {
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cout << "fuzz_gc: all "
+              << (opt.explicit_case ? 1u : opt.count)
+              << " case(s) passed the differential oracle\n";
+    return 0;
+  }
+  std::cout << "fuzz_gc: " << failures << " case(s) FAILED\n";
+  return 1;
+}

@@ -4,13 +4,15 @@
 #include <vector>
 
 #include "core/gc_core.hpp"
+#include "core/schedule_policy.hpp"
 #include "core/sync_block.hpp"
 #include "mem/header_fifo.hpp"
 #include "mem/memory_system.hpp"
 
 namespace hwgc {
 
-GcCycleStats Coprocessor::collect(SignalTrace* trace) {
+GcCycleStats Coprocessor::collect(SignalTrace* trace,
+                                  ScheduleTrace* schedule_trace) {
   const std::uint32_t n = cfg_.coprocessor.num_cores;
   if (n == 0) throw std::invalid_argument("coprocessor needs >= 1 core");
 
@@ -27,6 +29,11 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace) {
   std::vector<GcCore> cores;
   cores.reserve(n);
   for (CoreId id = 0; id < n; ++id) cores.emplace_back(id, ctx);
+
+  const auto policy = make_schedule_policy(cfg_.coprocessor.schedule,
+                                           cfg_.coprocessor.schedule_seed);
+  std::vector<CoreId> step_order;
+  step_order.reserve(n);
 
   GcCycleStats stats;
   Cycle now = 0;
@@ -51,15 +58,18 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace) {
     return true;
   };
 
-  // Clock loop: memory retires/accepts first, then cores step in index
-  // order (which realizes the SB's static-priority arbitration and its
-  // same-cycle lock hand-off).
+  // Clock loop: memory retires/accepts first, then cores step in the order
+  // the schedule policy picks. The default fixed order realizes the SB's
+  // static-priority arbitration and its same-cycle lock hand-off; the
+  // other policies explore alternative interleavings (src/fuzz/).
   bool cores_halted = false;
   while (true) {
     mem.tick(now);
     if (!cores_halted) {
       sb.begin_cycle();
-      for (auto& c : cores) c.step(now);
+      policy->order(now, sb, step_order);
+      if (schedule_trace != nullptr) schedule_trace->record(now, step_order);
+      for (CoreId c : step_order) cores[c].step(now);
       cores_halted = all_done();
       // Table I: cycles during which the worklist is empty. Counted over
       // the parallel scan phase (after the start barrier released).

@@ -26,6 +26,8 @@
 
 namespace hwgc {
 
+class ScheduleTrace;
+
 class Coprocessor {
  public:
   Coprocessor(const SimConfig& cfg, Heap& heap)
@@ -43,7 +45,14 @@ class Coprocessor {
   /// word count and busy-core count are sampled on change every cycle —
   /// the software counterpart of the prototype's 32-signal FPGA monitor
   /// (Section VI-A).
-  GcCycleStats collect(SignalTrace* trace = nullptr);
+  ///
+  /// Cores are stepped each cycle in the order produced by the configured
+  /// SchedulePolicy (cfg.coprocessor.schedule; fixed index order — the
+  /// prototype's static prioritization — by default). If `schedule_trace`
+  /// is non-null the most recent step orders are recorded there, so a
+  /// failing fuzz case can print the interleaving that broke it.
+  GcCycleStats collect(SignalTrace* trace = nullptr,
+                       ScheduleTrace* schedule_trace = nullptr);
 
   const SimConfig& config() const noexcept { return cfg_; }
 

@@ -1,0 +1,345 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/coprocessor.hpp"
+#include "core/schedule_policy.hpp"
+#include "heap/object_model.hpp"
+#include "heap/verifier.hpp"
+#include "sim/rng.hpp"
+
+namespace hwgc {
+
+SimConfig FuzzCase::sim_config() const {
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = num_cores;
+  cfg.coprocessor.header_fifo_capacity = header_fifo_capacity;
+  cfg.coprocessor.schedule = schedule;
+  cfg.coprocessor.schedule_seed = schedule_seed;
+  cfg.coprocessor.subobject_copy = subobject_copy;
+  cfg.coprocessor.markbit_early_read = markbit_early_read;
+  cfg.memory.latency_jitter = latency_jitter;
+  cfg.memory.jitter_seed = schedule_seed ^ 0x9e3779b97f4a7c15ULL;
+  return cfg;
+}
+
+std::string FuzzCase::summary() const {
+  std::ostringstream os;
+  os << "--graph-seed " << graph_seed << " --schedule " << to_string(schedule)
+     << " --schedule-seed " << schedule_seed << " --cores " << num_cores
+     << " --fifo " << header_fifo_capacity << " --jitter " << latency_jitter;
+  if (subobject_copy) os << " --subobject";
+  if (markbit_early_read) os << " --earlyread";
+  const FuzzGraphConfig def;
+  if (graph.min_nodes != def.min_nodes) os << " --min-nodes " << graph.min_nodes;
+  if (graph.max_nodes != def.max_nodes) os << " --max-nodes " << graph.max_nodes;
+  if (graph.max_pi != def.max_pi) os << " --max-pi " << graph.max_pi;
+  if (graph.max_delta != def.max_delta) os << " --max-delta " << graph.max_delta;
+  if (graph.edge_probability != def.edge_probability) {
+    os << " --edge-prob " << graph.edge_probability;
+  }
+  if (graph.garbage_fraction != def.garbage_fraction) {
+    os << " --garbage " << graph.garbage_fraction;
+  }
+  if (graph.huge_fraction != def.huge_fraction) {
+    os << " --huge-frac " << graph.huge_fraction;
+  }
+  if (graph.huge_delta != def.huge_delta) os << " --huge-delta " << graph.huge_delta;
+  if (graph.hubs != def.hubs) os << " --hubs " << graph.hubs;
+  if (graph.mutation_fraction != def.mutation_fraction) {
+    os << " --mutation " << graph.mutation_fraction;
+  }
+  if (graph.max_roots != def.max_roots) os << " --max-roots " << graph.max_roots;
+  return os.str();
+}
+
+std::string FuzzVerdict::summary() const {
+  if (ok) return "OK";
+  std::ostringstream os;
+  os << errors.size() << " oracle error(s):";
+  for (const auto& e : errors) os << "\n  - " << e;
+  if (!schedule_tail.empty()) {
+    os << "\nschedule tail:\n" << schedule_tail;
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string hex(Addr a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+/// Reads the forwarding map {pre addr -> copy} out of a collected heap and
+/// checks it is a bijection onto the dense tospace extent: total over the
+/// pre-live set, injective, and its images tile exactly
+/// [base, base + live_words) with the allocation pointer at the end.
+bool build_forwarding_map(const char* who, const HeapSnapshot& pre,
+                          const Heap& post, FuzzVerdict& v,
+                          std::unordered_map<Addr, Addr>& fwd) {
+  const WordMemory& mem = post.memory();
+  const Addr base = post.layout().current_base();
+  std::unordered_set<Addr> images;
+  bool total = true;
+  fwd.reserve(pre.objects.size());
+  for (const auto& rec : pre.objects) {
+    const Word attrs = mem.load(attributes_addr(rec.addr));
+    if (!is_forwarded(attrs)) {
+      v.fail(std::string(who) + ": live object " + hex(rec.addr) +
+             " has no forwarding pointer");
+      total = false;
+      continue;
+    }
+    const Addr copy = mem.load(link_addr(rec.addr));
+    if (!images.insert(copy).second) {
+      v.fail(std::string(who) + ": forwarding map not injective at copy " +
+             hex(copy));
+      total = false;
+      continue;
+    }
+    fwd.emplace(rec.addr, copy);
+  }
+  if (!total) return false;
+
+  std::vector<Addr> sorted(images.begin(), images.end());
+  std::sort(sorted.begin(), sorted.end());
+  Addr expect = base;
+  for (Addr copy : sorted) {
+    if (copy != expect) {
+      v.fail(std::string(who) + ": forwarding images do not tile tospace: " +
+             "expected image at " + hex(expect) + ", next is " + hex(copy));
+      return false;
+    }
+    expect += object_words(mem.load(attributes_addr(copy)));
+  }
+  if (expect != base + pre.live_words || post.alloc_ptr() != expect) {
+    v.fail(std::string(who) + ": forwarding map not onto the live extent (" +
+           std::to_string(expect - base) + " image words, " +
+           std::to_string(pre.live_words) + " live words, alloc at " +
+           hex(post.alloc_ptr()) + ")");
+    return false;
+  }
+  return true;
+}
+
+/// Byte-for-byte equivalence of the two tospace images modulo copy order:
+/// for every pre-live object, its two copies must have the same shape, the
+/// same data words, and pointer fields that denote the same pre-cycle
+/// child (resolved through each heap's own forwarding map).
+void cross_compare_images(const HeapSnapshot& pre, const Heap& a,
+                          const Heap& b,
+                          const std::unordered_map<Addr, Addr>& fwd_a,
+                          const std::unordered_map<Addr, Addr>& fwd_b,
+                          FuzzVerdict& v) {
+  for (const auto& rec : pre.objects) {
+    const Addr ca = fwd_a.at(rec.addr);
+    const Addr cb = fwd_b.at(rec.addr);
+    const Word attrs_a = a.memory().load(attributes_addr(ca));
+    const Word attrs_b = b.memory().load(attributes_addr(cb));
+    if (pi_of(attrs_a) != pi_of(attrs_b) ||
+        delta_of(attrs_a) != delta_of(attrs_b)) {
+      v.fail("image shapes diverge for pre object " + hex(rec.addr));
+      continue;
+    }
+    for (Word i = 0; i < rec.pi; ++i) {
+      const Addr old_child = rec.pointers[i];
+      const Addr want_a = old_child == kNullPtr ? kNullPtr : fwd_a.at(old_child);
+      const Addr want_b = old_child == kNullPtr ? kNullPtr : fwd_b.at(old_child);
+      const Addr got_a = a.memory().load(pointer_field_addr(ca, i));
+      const Addr got_b = b.memory().load(pointer_field_addr(cb, i));
+      if (got_a != want_a || got_b != want_b) {
+        v.fail("pointer field " + std::to_string(i) + " of pre object " +
+               hex(rec.addr) + " denotes different children: coprocessor " +
+               hex(got_a) + "/" + hex(want_a) + ", sequential " + hex(got_b) +
+               "/" + hex(want_b));
+      }
+    }
+    for (Word j = 0; j < rec.delta; ++j) {
+      const Word da = a.memory().load(data_field_addr(ca, rec.pi, j));
+      const Word db = b.memory().load(data_field_addr(cb, rec.pi, j));
+      if (da != db) {
+        v.fail("data word " + std::to_string(j) + " of pre object " +
+               hex(rec.addr) + " diverges: " + std::to_string(da) + " != " +
+               std::to_string(db));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
+  FuzzVerdict v;
+  const GraphPlan plan = make_fuzz_plan(fc.graph_seed, fc.graph);
+  Workload hw = materialize(plan);
+  Workload ref = materialize(plan);
+
+  const HeapSnapshot pre = HeapSnapshot::capture(*hw.heap);
+  const HeapSnapshot pre_ref = HeapSnapshot::capture(*ref.heap);
+  v.live_objects = pre.objects.size();
+  if (pre.objects.size() != pre_ref.objects.size()) {
+    v.fail("materialization diverged between the two heaps");
+    return v;
+  }
+
+  ScheduleTrace sched(64);
+  Coprocessor coproc(fc.sim_config(), *hw.heap);
+  try {
+    v.coproc = coproc.collect(nullptr, &sched);
+  } catch (const std::exception& e) {
+    v.fail(std::string("coprocessor threw: ") + e.what());
+    v.schedule_tail = sched.dump();
+    return v;
+  }
+  v.sequential = SequentialCheney::collect(*ref.heap);
+
+  // Per-heap verification against the pre-cycle snapshots.
+  const VerifyResult vr = verify_collection(pre, *hw.heap);
+  for (const auto& e : vr.errors) v.fail("coprocessor: " + e);
+  const VerifyResult vs = verify_collection(pre_ref, *ref.heap);
+  for (const auto& e : vs.errors) v.fail("sequential: " + e);
+
+  // Lock-order auditor must be silent (DESIGN.md invariant 6).
+  for (const auto& x : v.coproc.lock_order_violations) {
+    v.fail("lock order: " + x);
+  }
+
+  // Per-object single-evacuation counters.
+  std::uint64_t evacuations = 0;
+  for (const auto& c : v.coproc.per_core) evacuations += c.objects_evacuated;
+  if (evacuations != pre.objects.size()) {
+    v.fail("evacuation count " + std::to_string(evacuations) +
+           " != " + std::to_string(pre.objects.size()) + " live objects");
+  }
+  if (v.coproc.objects_copied != v.sequential.objects_copied ||
+      v.coproc.words_copied != v.sequential.words_copied) {
+    v.fail("copy totals diverge from sequential reference: objects " +
+           std::to_string(v.coproc.objects_copied) + "/" +
+           std::to_string(v.sequential.objects_copied) + ", words " +
+           std::to_string(v.coproc.words_copied) + "/" +
+           std::to_string(v.sequential.words_copied));
+  }
+
+  // Forwarding-map bijectivity, then image equivalence modulo copy order.
+  std::unordered_map<Addr, Addr> fwd_hw, fwd_ref;
+  const bool hw_ok = build_forwarding_map("coprocessor", pre, *hw.heap, v, fwd_hw);
+  const bool ref_ok =
+      build_forwarding_map("sequential", pre_ref, *ref.heap, v, fwd_ref);
+  if (hw_ok && ref_ok) {
+    cross_compare_images(pre, *hw.heap, *ref.heap, fwd_hw, fwd_ref, v);
+  }
+
+  if (!v.ok) v.schedule_tail = sched.dump();
+  return v;
+}
+
+FuzzCase case_from_seed(std::uint64_t master_seed) {
+  std::uint64_t s = master_seed;
+  FuzzCase fc;
+  fc.graph_seed = splitmix64(s);
+  fc.schedule = static_cast<SchedulePolicyKind>(splitmix64(s) % 4);
+  fc.schedule_seed = splitmix64(s);
+  static constexpr std::uint32_t kCores[] = {1, 2, 3, 4, 6, 8, 12, 16};
+  fc.num_cores = kCores[splitmix64(s) % 8];
+  // Tiny capacities force the FIFO-overflow path (scan-locked header
+  // loads); 32k is the prototype's configuration.
+  static constexpr std::uint32_t kFifo[] = {32 * 1024, 32 * 1024, 64, 4, 0};
+  fc.header_fifo_capacity = kFifo[splitmix64(s) % 5];
+  static constexpr Cycle kJitter[] = {0, 0, 1, 3, 7};
+  fc.latency_jitter = kJitter[splitmix64(s) % 5];
+  const std::uint64_t features = splitmix64(s);
+  fc.subobject_copy = features % 4 == 0;
+  fc.markbit_early_read = features % 8 >= 6;
+  return fc;
+}
+
+FuzzCase minimize_case(const FuzzCase& failing, std::uint32_t budget) {
+  FuzzCase best = failing;
+  const auto fails = [&budget](const FuzzCase& c) {
+    if (budget == 0) return false;
+    --budget;
+    return !run_fuzz_case(c).ok;
+  };
+
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    std::vector<FuzzCase> candidates;
+    const auto propose = [&](auto&& mutate) {
+      FuzzCase c = best;
+      if (mutate(c)) candidates.push_back(c);
+    };
+    // Shrink the graph first — a small graph makes every later probe cheap.
+    propose([](FuzzCase& c) {
+      if (c.graph.max_nodes <= 4) return false;
+      c.graph.max_nodes /= 2;
+      c.graph.min_nodes = std::min(c.graph.min_nodes, c.graph.max_nodes);
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.graph.max_delta <= 1 && c.graph.huge_fraction == 0.0) return false;
+      c.graph.max_delta = std::max<Word>(1, c.graph.max_delta / 2);
+      c.graph.huge_fraction = 0.0;
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.graph.hubs == 0 && c.graph.mutation_fraction == 0.0) return false;
+      c.graph.hubs = 0;
+      c.graph.mutation_fraction = 0.0;
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.graph.garbage_fraction == 0.0) return false;
+      c.graph.garbage_fraction = 0.0;
+      return true;
+    });
+    // Then the collector features and hardware knobs.
+    propose([](FuzzCase& c) {
+      if (!c.subobject_copy && !c.markbit_early_read) return false;
+      c.subobject_copy = false;
+      c.markbit_early_read = false;
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.latency_jitter == 0) return false;
+      c.latency_jitter = 0;
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.header_fifo_capacity >= 32 * 1024) return false;
+      c.header_fifo_capacity = 32 * 1024;
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.schedule == SchedulePolicyKind::kFixedPriority) return false;
+      c.schedule = SchedulePolicyKind::kFixedPriority;
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.num_cores <= 2) return false;
+      c.num_cores /= 2;
+      return true;
+    });
+    propose([](FuzzCase& c) {
+      if (c.num_cores <= 1) return false;
+      --c.num_cores;
+      return true;
+    });
+    for (const auto& c : candidates) {
+      if (fails(c)) {
+        best = c;
+        progress = true;
+        break;
+      }
+      if (budget == 0) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace hwgc

@@ -5,7 +5,9 @@
 namespace hwgc {
 
 MemorySystem::MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores)
-    : cfg_(cfg), buffers_(static_cast<std::size_t>(num_cores) * kPortCount) {
+    : cfg_(cfg),
+      buffers_(static_cast<std::size_t>(num_cores) * kPortCount),
+      jitter_rng_(cfg.jitter_seed) {
   if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 4 * num_cores;
   cache_tags_.assign(cfg_.header_cache_entries, kNullPtr);
 }
@@ -44,21 +46,28 @@ void MemorySystem::issue_load(CoreId core, Port port, Addr addr) {
 void MemorySystem::tick(Cycle now) {
   // 1. Retire transactions whose latency has elapsed. Within each port
   //    class acceptance order is completion order (constant per-class
-  //    latency), so only the fronts can retire.
+  //    latency), so only the fronts can retire — unless latency jitter is
+  //    on, in which case completions interleave and the deque is scanned.
+  const bool out_of_order = cfg_.latency_jitter != 0;
   const auto retire = [&](std::deque<Inflight>& inflight) {
-    while (!inflight.empty() && inflight.front().complete_at <= now) {
-      const Request& r = inflight.front().req;
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (it->complete_at > now) {
+        if (!out_of_order) break;
+        ++it;
+        continue;
+      }
+      const Request& r = it->req;
       if (r.op == MemOp::kLoad) {
         buf(r.core, r.port).load_inflight = false;  // data arrived
       } else {
         --uncommitted_stores_;  // committed to memory
         if (r.port == Port::kHeader) {
-          auto it = pending_header_stores_.find(r.addr);
-          assert(it != pending_header_stores_.end());
-          if (--it->second == 0) pending_header_stores_.erase(it);
+          auto ps = pending_header_stores_.find(r.addr);
+          assert(ps != pending_header_stores_.end());
+          if (--ps->second == 0) pending_header_stores_.erase(ps);
         }
       }
-      inflight.pop_front();
+      it = inflight.erase(it);
     }
   };
   retire(inflight_header_);
@@ -80,15 +89,18 @@ void MemorySystem::tick(Cycle now) {
     if (r.op == MemOp::kStore) {
       --buf(r.core, r.port).stores_waiting;  // slot frees on acceptance
     }
+    const Cycle extra =
+        out_of_order ? jitter_rng_.below(cfg_.latency_jitter + 1) : 0;
     if (r.port == Port::kHeader) {
       if (header_cache_lookup_and_fill(r.addr)) {
         inflight_header_fast_.push_back(
-            Inflight{r, now + cfg_.header_cache_hit_latency});
+            Inflight{r, now + cfg_.header_cache_hit_latency + extra});
       } else {
-        inflight_header_.push_back(Inflight{r, now + cfg_.header_latency});
+        inflight_header_.push_back(
+            Inflight{r, now + cfg_.header_latency + extra});
       }
     } else {
-      inflight_body_.push_back(Inflight{r, now + cfg_.latency});
+      inflight_body_.push_back(Inflight{r, now + cfg_.latency + extra});
     }
     it = queue_.erase(it);
     ++accepted;

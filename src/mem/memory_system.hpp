@@ -21,6 +21,10 @@
 //    never ordered (each body word is touched exactly once per cycle).
 //  * stores_drained(): end-of-cycle flush — the main processor may only be
 //    restarted once every store has committed (Section V-E).
+//  * Optional seeded latency jitter (MemoryConfig::latency_jitter) for
+//    schedule-exploration fuzzing: adds a random number of cycles to each
+//    accepted request, so completions can retire out of acceptance order
+//    as they would under real DRAM bank conflicts or refresh.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,7 @@
 
 #include "mem/ports.hpp"
 #include "sim/config.hpp"
+#include "sim/rng.hpp"
 #include "sim/types.hpp"
 
 namespace hwgc {
@@ -128,7 +133,10 @@ class MemorySystem {
   // Accepted requests of one latency class complete in acceptance order
   // (constant per-class latency), so one deque per class suffices: the
   // front always retires first. Header-cache hits form their own, faster
-  // class.
+  // class. With latency_jitter enabled, completions within a class can
+  // retire out of acceptance order and the whole deque is scanned instead
+  // (fuzzing only — never the measured configuration).
+  Rng jitter_rng_{0};
   std::deque<Inflight> inflight_header_;
   std::deque<Inflight> inflight_header_fast_;
   std::deque<Inflight> inflight_body_;

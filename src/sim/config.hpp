@@ -16,6 +16,29 @@
 
 namespace hwgc {
 
+/// Per-cycle core step order. The prototype arbitrates simultaneous SB
+/// claims by static priority, which the simulator realizes by stepping
+/// cores in index order (kFixedPriority). The other policies exist for
+/// schedule-exploration testing: the algorithm's correctness must not
+/// depend on which interleaving the arbiter happens to pick, so the fuzz
+/// harness sweeps them all (src/fuzz/).
+enum class SchedulePolicyKind : std::uint8_t {
+  kFixedPriority = 0,  ///< index order — the paper's static prioritization
+  kRotating,           ///< round-robin rotation of the highest-priority core
+  kRandom,             ///< fresh seeded random permutation every cycle
+  kAdversarial,        ///< cores holding an SB lock always step last
+};
+
+constexpr const char* to_string(SchedulePolicyKind k) noexcept {
+  switch (k) {
+    case SchedulePolicyKind::kFixedPriority: return "fixed";
+    case SchedulePolicyKind::kRotating: return "rotating";
+    case SchedulePolicyKind::kRandom: return "random";
+    case SchedulePolicyKind::kAdversarial: return "adversarial";
+  }
+  return "?";
+}
+
 /// Timing model of the off-chip memory (DDR-SDRAM module in the prototype).
 struct MemoryConfig {
   /// Cycles between a *body* request being accepted by the scheduler and
@@ -47,6 +70,15 @@ struct MemoryConfig {
   /// 0 disables the cache — the paper's measured configuration.
   std::uint32_t header_cache_entries = 0;
   Cycle header_cache_hit_latency = 2;
+
+  /// Schedule-exploration fuzzing: maximum extra completion latency added
+  /// per accepted request, uniform in [0, latency_jitter] from a stream
+  /// seeded with `jitter_seed`. Nonzero jitter makes completions within a
+  /// latency class retire out of acceptance order, probing orderings a
+  /// real DRAM controller (bank conflicts, refresh) could produce. 0 keeps
+  /// the prototype's constant per-class latencies.
+  Cycle latency_jitter = 0;
+  std::uint64_t jitter_seed = 0;
 };
 
 /// Configuration of the multi-core GC coprocessor.
@@ -78,6 +110,14 @@ struct CoprocessorConfig {
   /// the paper's measured configuration.
   bool markbit_early_read = false;
 
+  /// Per-cycle core step order (see SchedulePolicyKind). Anything other
+  /// than kFixedPriority deviates from the prototype's arbitration and is
+  /// meant for correctness fuzzing, not for performance measurement.
+  SchedulePolicyKind schedule = SchedulePolicyKind::kFixedPriority;
+
+  /// Seed for the kRandom permutation stream (ignored by other policies).
+  std::uint64_t schedule_seed = 0;
+
   /// Record a per-cycle signal trace (costly; for debugging/inspection).
   bool enable_trace = false;
 
@@ -101,11 +141,18 @@ struct SimConfig {
 
   /// Human-readable one-line summary, used by bench harness headers.
   std::string summary() const {
-    return "cores=" + std::to_string(coprocessor.num_cores) +
-           " lat=" + std::to_string(memory.latency) +
-           " bw=" + std::to_string(memory.bandwidth_per_cycle) +
-           " fifo=" + std::to_string(coprocessor.header_fifo_capacity) +
-           " earlyread=" + (coprocessor.markbit_early_read ? "on" : "off");
+    std::string s = "cores=" + std::to_string(coprocessor.num_cores) +
+                    " lat=" + std::to_string(memory.latency) +
+                    " bw=" + std::to_string(memory.bandwidth_per_cycle) +
+                    " fifo=" + std::to_string(coprocessor.header_fifo_capacity) +
+                    " earlyread=" + (coprocessor.markbit_early_read ? "on" : "off");
+    if (coprocessor.schedule != SchedulePolicyKind::kFixedPriority) {
+      s += std::string(" sched=") + to_string(coprocessor.schedule);
+    }
+    if (memory.latency_jitter != 0) {
+      s += " jitter=" + std::to_string(memory.latency_jitter);
+    }
+    return s;
   }
 };
 

@@ -5,6 +5,9 @@
 // sequential reference on what was copied.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "baselines/sequential_cheney.hpp"
 #include "core/coprocessor.hpp"
 #include "heap/verifier.hpp"
@@ -202,6 +205,114 @@ TEST(Coprocessor, MoreCoresNeverProduceWrongResultsUnderContention) {
 // ---------------------------------------------------------------------------
 // Property sweep: random graphs x core counts.
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Termination-condition edge cases (Section IV: terminate exactly when
+// scan == free and every busy bit is clear). The condition is reconstructed
+// cycle-by-cycle from the on-change SignalTrace samples, so the tests see
+// every moment it changed, not just the final state.
+// ---------------------------------------------------------------------------
+
+struct TerminationProfile {
+  std::uint64_t false_to_true = 0;  ///< cycles the condition became true
+  std::uint64_t false_cycles = 0;   ///< sampled cycles with condition false
+  bool final_true = false;          ///< condition at the last sampled cycle
+};
+
+TerminationProfile replay_termination(const SignalTrace& trace) {
+  const auto& names = trace.signal_names();
+  const auto idx = [&](const char* want) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == want) return static_cast<std::uint16_t>(i);
+    }
+    throw std::runtime_error(std::string("signal not traced: ") + want);
+  };
+  const std::uint16_t sig_scan = idx("scan");
+  const std::uint16_t sig_free = idx("free");
+  const std::uint16_t sig_busy = idx("busy_cores");
+
+  TerminationProfile prof;
+  std::uint64_t scan = 0, free = 0, busy = 0;
+  bool prev = true, have_prev = false;
+  const auto& events = trace.events();
+  for (std::size_t i = 0; i < events.size();) {
+    const Cycle cycle = events[i].cycle;
+    for (; i < events.size() && events[i].cycle == cycle; ++i) {
+      if (events[i].signal == sig_scan) scan = events[i].value;
+      if (events[i].signal == sig_free) free = events[i].value;
+      if (events[i].signal == sig_busy) busy = events[i].value;
+    }
+    // Sampling is on-change: between sampled cycles the condition is
+    // constant, so this visits every value it ever took.
+    const bool cond = scan == free && busy == 0;
+    if (!cond) ++prof.false_cycles;
+    if (have_prev && !prev && cond) ++prof.false_to_true;
+    prev = cond;
+    have_prev = true;
+    prof.final_true = cond;
+  }
+  return prof;
+}
+
+GcCycleStats collect_traced(Heap& heap, std::uint32_t cores,
+                            SignalTrace& trace) {
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = cores;
+  Coprocessor coproc(cfg, heap);
+  return coproc.collect(&trace);
+}
+
+TEST(CoprocessorTermination, EmptyRootSetNeverLeavesTheCondition) {
+  Heap heap(256);
+  heap.allocate(2, 2);  // unreachable
+  SignalTrace trace;
+  const GcCycleStats s = collect_traced(heap, 8, trace);
+  const TerminationProfile prof = replay_termination(trace);
+  EXPECT_EQ(s.objects_copied, 0u);
+  // scan == free and all-idle hold from the first sampled cycle onward:
+  // the condition is never left, so it is never re-reached.
+  EXPECT_EQ(prof.false_cycles, 0u) << "condition must hold throughout";
+  EXPECT_EQ(prof.false_to_true, 0u);
+  EXPECT_TRUE(prof.final_true);
+}
+
+TEST(CoprocessorTermination, SingleObjectReachesTheConditionExactlyOnce) {
+  Heap heap(256);
+  const Addr a = heap.allocate(0, 0);  // minimal object: header only
+  heap.roots().assign({a});
+  const HeapSnapshot pre = HeapSnapshot::capture(heap);
+  SignalTrace trace;
+  const GcCycleStats s = collect_traced(heap, 4, trace);
+  EXPECT_EQ(s.objects_copied, 1u);
+  EXPECT_TRUE(verify_collection(pre, heap).ok);
+  const TerminationProfile prof = replay_termination(trace);
+  EXPECT_GT(prof.false_cycles, 0u) << "evacuating the root must open a "
+                                      "scan != free window";
+  EXPECT_EQ(prof.false_to_true, 1u)
+      << "the termination condition must be reached exactly once";
+  EXPECT_TRUE(prof.final_true);
+}
+
+TEST(CoprocessorTermination, IdleCoresWithOneLateEvacuationIsNotTermination) {
+  // Root object with a big data area and one pointer discovered mid-scan:
+  // while core 0 copies the data, scan == free and the other cores sit
+  // idle — only core 0's busy bit separates that state from termination.
+  // The condition must still be reached exactly once, at the real end.
+  Heap heap(512);
+  const Addr a = heap.allocate(1, 40);
+  const Addr b = heap.allocate(0, 1);
+  heap.set_pointer(a, 0, b);
+  heap.roots().assign({a});
+  const HeapSnapshot pre = HeapSnapshot::capture(heap);
+  SignalTrace trace;
+  const GcCycleStats s = collect_traced(heap, 8, trace);
+  EXPECT_EQ(s.objects_copied, 2u);
+  EXPECT_TRUE(verify_collection(pre, heap).ok);
+  const TerminationProfile prof = replay_termination(trace);
+  EXPECT_EQ(prof.false_to_true, 1u)
+      << "busy bits must mask the idle-cores window";
+  EXPECT_TRUE(prof.final_true);
+}
 
 class RandomGraphProperty
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {

@@ -1,7 +1,11 @@
 // Unit tests for the on-chip gray-header FIFO (paper Section V-D).
 #include <gtest/gtest.h>
 
+#include "core/coprocessor.hpp"
+#include "heap/verifier.hpp"
 #include "mem/header_fifo.hpp"
+#include "sim/counters.hpp"
+#include "workloads/random_graph.hpp"
 
 namespace hwgc {
 namespace {
@@ -79,6 +83,74 @@ TEST(HeaderFifo, CapacityBoundary) {
   EXPECT_TRUE(fifo.pop(100, e));
   EXPECT_TRUE(fifo.push(entry(204)));  // slot freed
   EXPECT_EQ(fifo.size(), 3u);
+}
+
+TEST(HeaderFifo, OrderingSurvivesWraparound) {
+  // Fill to capacity, then keep the FIFO saturated through three times its
+  // capacity worth of push/pop traffic: the pop order must stay the push
+  // order across every internal wrap of the ring.
+  constexpr std::uint32_t kCap = 4;
+  HeaderFifo fifo(kCap);
+  Addr next_push = 0, next_pop = 0;
+  for (; next_push < kCap; ++next_push) {
+    EXPECT_TRUE(fifo.push(entry(next_push * 4)));
+  }
+  EXPECT_EQ(fifo.size(), kCap);
+  EXPECT_FALSE(fifo.push(entry(next_push * 4)));  // full: backpressure
+  EXPECT_EQ(fifo.overflows(), 1u);
+  ++next_push;  // frame 4 was lost; scan will miss on it below
+
+  HeaderFifo::Entry e;
+  for (int round = 0; round < 3 * static_cast<int>(kCap); ++round) {
+    // Pop the oldest surviving frame...
+    if (next_pop == 4) {
+      EXPECT_FALSE(fifo.pop(next_pop * 4, e)) << "lost frame must miss";
+      ++next_pop;
+    }
+    ASSERT_TRUE(fifo.pop(next_pop * 4, e)) << "round " << round;
+    EXPECT_EQ(e.attributes, 0x40000u + next_pop * 4) << "order corrupted";
+    EXPECT_EQ(e.backlink, next_pop * 4 + 1000u);
+    ++next_pop;
+    // ...and refill the freed slot, crossing the wrap point repeatedly.
+    EXPECT_TRUE(fifo.push(entry(next_push * 4)));
+    ++next_push;
+    EXPECT_EQ(fifo.size(), kCap);
+  }
+  EXPECT_EQ(fifo.overflows(), 1u) << "steady-state traffic must not overflow";
+  EXPECT_EQ(fifo.misses(), 1u);
+}
+
+TEST(HeaderFifo, BackpressureStallsLandOnTheRightCounters) {
+  // A FIFO far smaller than the gray population forces overflows; every
+  // lost entry turns into a scan-side miss whose fallback header load runs
+  // inside the scan critical section: the missing core charges
+  // kHeaderLoad, the cores spinning on the lock meanwhile charge
+  // kScanLock (the `cup` effect, Section V-D). Correctness is unaffected.
+  RandomGraphConfig rcfg;
+  rcfg.nodes = 200;
+  const GraphPlan plan = make_random_plan(99, rcfg);
+  Workload w = materialize(plan);
+  const HeapSnapshot pre = HeapSnapshot::capture(*w.heap);
+
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  cfg.coprocessor.header_fifo_capacity = 2;
+  Coprocessor coproc(cfg, *w.heap);
+  const GcCycleStats s = coproc.collect();
+
+  EXPECT_GT(s.fifo_overflows, 0u);
+  EXPECT_GT(s.fifo_misses, 0u);
+  Cycle header_load_stalls = 0, scan_lock_stalls = 0;
+  for (const auto& c : s.per_core) {
+    header_load_stalls += c.stall(StallReason::kHeaderLoad);
+    scan_lock_stalls += c.stall(StallReason::kScanLock);
+  }
+  EXPECT_GT(header_load_stalls, 0u)
+      << "FIFO misses must surface as header-load stalls";
+  EXPECT_GT(scan_lock_stalls, 0u)
+      << "the miss fallback holds the scan lock; contenders must stall on it";
+  const VerifyResult res = verify_collection(pre, *w.heap);
+  EXPECT_TRUE(res.ok) << res.summary();
 }
 
 }  // namespace

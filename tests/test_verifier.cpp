@@ -118,6 +118,115 @@ TEST(Verifier, DetectsMissedFlip) {
   EXPECT_FALSE(verify_collection(c.pre, *c.w.heap).ok);
 }
 
+// ---------------------------------------------------------------------------
+// Four targeted corruptions, each asserting the SPECIFIC check fires (the
+// coarse !ok tests above can pass for the wrong reason).
+// ---------------------------------------------------------------------------
+
+bool has_error(const VerifyResult& res, const std::string& needle) {
+  for (const auto& e : res.errors) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Verifier, DroppedObjectNamesTheEvacuationCheck) {
+  Collected c = collect_jlisp();
+  Heap& heap = *c.w.heap;
+  const Addr victim = c.pre.objects.front().addr;
+  const Word attrs = heap.memory().load(attributes_addr(victim));
+  heap.memory().store(attributes_addr(victim), attrs & ~kForwardedBit);
+  const VerifyResult res = verify_collection(c.pre, heap);
+  ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(has_error(res, "was not evacuated")) << res.summary();
+}
+
+TEST(Verifier, SwappedPointerFieldsNameThePointerCheck) {
+  // R has two pointer fields referring to two DIFFERENT children; swapping
+  // them in the copy keeps every pointer valid-looking but misdirected.
+  GraphPlan p;
+  const auto r = p.add(2, 1);
+  const auto x = p.add(0, 2);
+  const auto y = p.add(0, 3);
+  p.link(r, 0, x);
+  p.link(r, 1, y);
+  p.add_root(r);
+  Workload w = materialize(p);
+  Heap& heap = *w.heap;
+  const HeapSnapshot pre = HeapSnapshot::capture(heap);
+  SequentialCheney::collect(heap);
+
+  const Addr r_copy = heap.memory().load(link_addr(pre.objects.front().addr));
+  const Addr f0 = heap.memory().load(pointer_field_addr(r_copy, 0));
+  const Addr f1 = heap.memory().load(pointer_field_addr(r_copy, 1));
+  ASSERT_NE(f0, f1);
+  heap.memory().store(pointer_field_addr(r_copy, 0), f1);
+  heap.memory().store(pointer_field_addr(r_copy, 1), f0);
+  const VerifyResult res = verify_collection(pre, heap);
+  ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(has_error(res, "pointer field")) << res.summary();
+  EXPECT_FALSE(has_error(res, "stale fromspace"))
+      << "both targets are tospace copies";
+}
+
+TEST(Verifier, StaleFromspacePointerNamesTheStaleCheck) {
+  Collected c = collect_jlisp();
+  Heap& heap = *c.w.heap;
+  // Redirect some copy's pointer field back into the evacuated space.
+  Addr cur = heap.layout().current_base();
+  while (cur < heap.alloc_ptr()) {
+    const Word attrs = heap.memory().load(attributes_addr(cur));
+    if (pi_of(attrs) > 0) {
+      heap.memory().store(pointer_field_addr(cur, 0),
+                          c.pre.objects.front().addr);
+      const VerifyResult res = verify_collection(c.pre, heap);
+      ASSERT_FALSE(res.ok);
+      EXPECT_TRUE(has_error(res, "stale fromspace pointer")) << res.summary();
+      return;
+    }
+    cur += object_words(attrs);
+  }
+  FAIL() << "workload should contain at least one pointer field";
+}
+
+TEST(Verifier, CompactionHoleNamesTheDenseCheck) {
+  // a -> b, collected correctly, then b's copy is slid 2 words up with all
+  // metadata (forwarding link, a's pointer field, alloc_ptr) adjusted, so
+  // the ONLY remaining defect is the hole in the dense packing.
+  GraphPlan p;
+  const auto a = p.add(1, 1);
+  const auto b = p.add(0, 2);
+  p.link(a, 0, b);
+  p.add_root(a);
+  Workload w = materialize(p);
+  Heap& heap = *w.heap;
+  const HeapSnapshot pre = HeapSnapshot::capture(heap);
+  SequentialCheney::collect(heap);
+  ASSERT_TRUE(verify_collection(pre, heap).ok);
+
+  const Addr old_b = pre.objects.back().addr;
+  ASSERT_EQ(pre.objects.back().pi, 0u);
+  const Addr b_copy = heap.memory().load(link_addr(old_b));
+  const Word b_words = object_words(heap.memory().load(attributes_addr(b_copy)));
+  // Slide the copy up by 2 words (highest word first: ranges overlap).
+  for (Word i = b_words; i-- > 0;) {
+    heap.memory().store(b_copy + 2 + i, heap.memory().load(b_copy + i));
+  }
+  heap.memory().store(link_addr(old_b), b_copy + 2);
+  const Addr a_copy = heap.memory().load(link_addr(pre.objects.front().addr));
+  ASSERT_EQ(heap.memory().load(pointer_field_addr(a_copy, 0)), b_copy);
+  heap.memory().store(pointer_field_addr(a_copy, 0), b_copy + 2);
+  heap.set_alloc_ptr(heap.alloc_ptr() + 2);
+
+  const VerifyResult res = verify_collection(pre, heap);
+  ASSERT_FALSE(res.ok);
+  EXPECT_TRUE(has_error(res, "compaction hole")) << res.summary();
+  EXPECT_FALSE(has_error(res, "pointer field"))
+      << "pointers were consistently adjusted; only the hole may fire";
+  // The loose mode tolerates exactly this kind of fragmentation.
+  EXPECT_TRUE(verify_collection(pre, heap, {.require_dense = false}).ok);
+}
+
 TEST(Verifier, DenseModeRejectsHolesButLooseModeAccepts) {
   // Build a fake "collection with a hole": collect, then move the alloc
   // pointer past a gap and append a dummy copy... simpler: verify a
