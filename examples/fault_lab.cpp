@@ -1,0 +1,263 @@
+// fault_lab — hardware fault-injection sweep driver.
+//
+// Sweeps the fault matrix (fault class × event rate × core count × seeds)
+// through the differential oracle: every run injects a seeded fault plan,
+// collects through the detection-and-recovery machinery and cross-checks
+// the result against the sequential Cheney reference. Per run the outcome
+// is classified as
+//   masked        collection succeeded on the first attempt,
+//   retried       recovered by abort-and-retry on the same cores,
+//   deconfigured  recovered after dropping at least one suspect core,
+//   fallback      recovered by the sequential software collector,
+//   FAILED        oracle rejected the run — silent corruption or an
+//                 unrecoverable collection; the driver exits nonzero.
+//
+// The sweep recipe from EXPERIMENTS.md:
+//   fault_lab                         # default matrix, ~1 minute
+//   fault_lab --classes mem-corrupt --cores 8 --events 4 --seeds 10 -v
+//   fault_lab --graph-seed 3 --max-nodes 64   # smaller, faster graphs
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: fault_lab [options]\n"
+      "  --classes a,b,..  fault classes to sweep (default: all); names:\n"
+      "                    mem-drop mem-dup mem-delay mem-corrupt lock-delay\n"
+      "                    stuck-busy core-stall core-failstop\n"
+      "  --cores a,b,..    core counts to sweep (default 2,4,8)\n"
+      "  --events a,b,..   events per run, the fault rate axis (default 1,4)\n"
+      "  --seeds N         seeds per matrix cell (default 3)\n"
+      "  --base-seed N     first fault/schedule seed (default 1)\n"
+      "  --graph-seed N    first object-graph seed (default 42; +1 per seed)\n"
+      "  --max-nodes N     object-graph size cap (default 96)\n"
+      "  --fault-scale N   trigger-point scale (default 48; small keeps the\n"
+      "                    trigger points inside these short collections)\n"
+      "  -v, --verbose     print every run, not just the matrix\n";
+}
+
+struct Options {
+  std::vector<hwgc::FaultKind> classes;
+  std::vector<std::uint32_t> cores{2, 4, 8};
+  std::vector<std::uint32_t> events{1, 4};
+  std::uint32_t seeds = 3;
+  std::uint64_t base_seed = 1;
+  std::uint64_t graph_seed = 42;
+  std::uint32_t max_nodes = 96;
+  std::uint32_t fault_scale = 48;
+  bool verbose = false;
+};
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--classes") {
+      for (const auto& name : split_list(next(i))) {
+        hwgc::FaultKind k;
+        if (!hwgc::parse_fault_kind(name, k)) {
+          std::cerr << "unknown fault class " << name << "\n";
+          return false;
+        }
+        opt.classes.push_back(k);
+      }
+    } else if (a == "--cores") {
+      opt.cores.clear();
+      for (const auto& c : split_list(next(i))) {
+        opt.cores.push_back(
+            static_cast<std::uint32_t>(std::strtoul(c.c_str(), nullptr, 0)));
+      }
+    } else if (a == "--events") {
+      opt.events.clear();
+      for (const auto& c : split_list(next(i))) {
+        opt.events.push_back(
+            static_cast<std::uint32_t>(std::strtoul(c.c_str(), nullptr, 0)));
+      }
+    } else if (a == "--seeds") {
+      opt.seeds = static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+    } else if (a == "--base-seed") {
+      opt.base_seed = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--graph-seed") {
+      opt.graph_seed = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--max-nodes") {
+      opt.max_nodes =
+          static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+    } else if (a == "--fault-scale") {
+      opt.fault_scale =
+          static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+    } else if (a == "-v" || a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      return false;
+    }
+  }
+  if (opt.classes.empty()) {
+    for (std::size_t k = 0; k < hwgc::kFaultKindCount; ++k) {
+      opt.classes.push_back(static_cast<hwgc::FaultKind>(k));
+    }
+  }
+  return true;
+}
+
+struct Tally {
+  std::uint64_t runs = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t deconfigured = 0;
+  std::uint64_t fallback = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t fired = 0;
+};
+
+const char* classify(const hwgc::FuzzVerdict& v) {
+  if (!v.ok) return "FAILED";
+  if (v.recovery.used_sequential_fallback) return "fallback";
+  if (!v.recovery.deconfigured.empty()) return "deconfigured";
+  if (v.recovery.attempts.size() > 1) return "retried";
+  return "masked";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage();
+    return 2;
+  }
+
+  // The schedule policies rotate with the seed index so every matrix cell
+  // also explores different core interleavings.
+  static constexpr hwgc::SchedulePolicyKind kSchedules[] = {
+      hwgc::SchedulePolicyKind::kFixedPriority,
+      hwgc::SchedulePolicyKind::kRotating,
+      hwgc::SchedulePolicyKind::kRandom,
+      hwgc::SchedulePolicyKind::kAdversarial,
+  };
+
+  std::vector<Tally> per_class(hwgc::kFaultKindCount);
+  Tally total;
+  bool any_failed = false;
+
+  for (const hwgc::FaultKind kind : opt.classes) {
+    Tally& t = per_class[static_cast<std::size_t>(kind)];
+    for (const std::uint32_t cores : opt.cores) {
+      for (const std::uint32_t events : opt.events) {
+        for (std::uint32_t s = 0; s < opt.seeds; ++s) {
+          hwgc::FuzzCase fc;
+          fc.graph_seed = opt.graph_seed + s;
+          fc.graph.max_nodes = opt.max_nodes;
+          // A floor of half the cap keeps the collection long enough that
+          // trigger points drawn from [0, fault_scale) actually land in it.
+          fc.graph.min_nodes = std::max(opt.max_nodes / 2, 1u);
+          fc.num_cores = cores;
+          fc.schedule = kSchedules[s % 4];
+          fc.schedule_seed = opt.base_seed + s;
+          fc.fault.seed = opt.base_seed + s;
+          fc.fault.events = events;
+          fc.fault.trigger_scale = opt.fault_scale;
+          fc.fault.class_mask = 1u << static_cast<std::uint32_t>(kind);
+          const hwgc::FuzzVerdict v = hwgc::run_fuzz_case(fc);
+
+          ++t.runs;
+          t.injected += v.recovery.faults_injected;
+          t.fired += v.recovery.faults_fired;
+          const std::string outcome = classify(v);
+          if (outcome == "FAILED") {
+            ++t.failed;
+            any_failed = true;
+            std::cout << "FAILED: " << to_string(kind) << " cores=" << cores
+                      << " events=" << events << " seed=" << fc.fault.seed
+                      << "\n"
+                      << v.summary() << "\nrepro: fuzz_gc " << fc.summary()
+                      << "\n";
+          } else if (outcome == "fallback") {
+            ++t.fallback;
+          } else if (outcome == "deconfigured") {
+            ++t.deconfigured;
+          } else if (outcome == "retried") {
+            ++t.retried;
+          } else {
+            ++t.masked;
+          }
+          if (opt.verbose) {
+            std::cout << to_string(kind) << " cores=" << cores
+                      << " events=" << events << " seed=" << fc.fault.seed
+                      << ": " << outcome << " (" << v.recovery.attempts.size()
+                      << " attempt(s), " << v.recovery.faults_fired
+                      << " fired)\n";
+          }
+        }
+      }
+    }
+  }
+
+  std::cout << "\nfault class      runs  masked retried deconf fallbk FAILED"
+               "  injected fired\n";
+  for (std::size_t k = 0; k < hwgc::kFaultKindCount; ++k) {
+    const Tally& t = per_class[k];
+    if (t.runs == 0) continue;
+    std::cout << std::left << std::setw(16)
+              << to_string(static_cast<hwgc::FaultKind>(k)) << std::right
+              << std::setw(6) << t.runs << std::setw(8) << t.masked
+              << std::setw(8) << t.retried << std::setw(7) << t.deconfigured
+              << std::setw(7) << t.fallback << std::setw(7) << t.failed
+              << std::setw(10) << t.injected << std::setw(6) << t.fired
+              << "\n";
+    total.runs += t.runs;
+    total.masked += t.masked;
+    total.retried += t.retried;
+    total.deconfigured += t.deconfigured;
+    total.fallback += t.fallback;
+    total.failed += t.failed;
+    total.injected += t.injected;
+    total.fired += t.fired;
+  }
+  std::cout << std::left << std::setw(16) << "TOTAL" << std::right
+            << std::setw(6) << total.runs << std::setw(8) << total.masked
+            << std::setw(8) << total.retried << std::setw(7)
+            << total.deconfigured << std::setw(7) << total.fallback
+            << std::setw(7) << total.failed << std::setw(10) << total.injected
+            << std::setw(6) << total.fired << "\n";
+
+  if (any_failed) {
+    std::cout << "fault_lab: FAILURES detected — silent corruption or "
+                 "unrecoverable collection\n";
+    return 1;
+  }
+  std::cout << "fault_lab: all " << total.runs
+            << " fault-injected run(s) recovered or masked; no silent "
+               "corruption\n";
+  return 0;
+}

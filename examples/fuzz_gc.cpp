@@ -37,7 +37,14 @@ void usage() {
       "  --schedule-seed N --cores N --fifo N --jitter N --subobject --earlyread\n"
       "  --min-nodes N --max-nodes N --max-pi N --max-delta N --edge-prob X\n"
       "  --garbage X --huge-frac X --huge-delta N --hubs N --mutation X\n"
-      "  --max-roots N\n";
+      "  --max-roots N\n"
+      "fault-injection flags (route the case through recovery; see fault_lab\n"
+      "for whole sweeps):\n"
+      "  --fault-events N    inject N seeded fault events (0 = off)\n"
+      "  --fault-seed N      fault plan seed\n"
+      "  --fault-mask M      bitmask of fault classes (bit i = class i)\n"
+      "  --fault-persistent X  fraction of events that are hard faults\n"
+      "  --fault-scale N     trigger-point scale (cycles / transaction counts)\n";
 }
 
 struct Options {
@@ -129,6 +136,21 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--max-roots") {
       opt.fc.graph.max_roots = static_cast<std::uint32_t>(u64());
       opt.explicit_case = true;
+    } else if (a == "--fault-events") {
+      opt.fc.fault.events = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--fault-seed") {
+      opt.fc.fault.seed = u64();
+      opt.explicit_case = true;
+    } else if (a == "--fault-mask") {
+      opt.fc.fault.class_mask = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
+    } else if (a == "--fault-persistent") {
+      opt.fc.fault.persistent_fraction = f64();
+      opt.explicit_case = true;
+    } else if (a == "--fault-scale") {
+      opt.fc.fault.trigger_scale = static_cast<std::uint32_t>(u64());
+      opt.explicit_case = true;
     } else if (a == "--help" || a == "-h") {
       usage();
       std::exit(0);
@@ -153,6 +175,9 @@ bool run_one(const hwgc::FuzzCase& fc, const std::string& label,
                 << " mem=" << v.coproc.mem_requests
                 << " fifo_miss=" << v.coproc.fifo_misses << "  [" << fc.summary()
                 << "]\n";
+      if (v.fault_run) {
+        std::cout << "  recovery: " << v.recovery.summary() << "\n";
+      }
     }
     return true;
   }

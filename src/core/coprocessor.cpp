@@ -6,18 +6,21 @@
 #include "core/gc_core.hpp"
 #include "core/schedule_policy.hpp"
 #include "core/sync_block.hpp"
+#include "fault/fault_injector.hpp"
 #include "mem/header_fifo.hpp"
 #include "mem/memory_system.hpp"
+#include "sim/abort.hpp"
 
 namespace hwgc {
 
 GcCycleStats Coprocessor::collect(SignalTrace* trace,
-                                  ScheduleTrace* schedule_trace) {
+                                  ScheduleTrace* schedule_trace,
+                                  FaultInjector* fault) {
   const std::uint32_t n = cfg_.coprocessor.num_cores;
   if (n == 0) throw std::invalid_argument("coprocessor needs >= 1 core");
 
-  SyncBlock sb(n);
-  MemorySystem mem(cfg_.memory, n);
+  SyncBlock sb(n, fault);
+  MemorySystem mem(cfg_.memory, n, fault);
   HeaderFifo fifo(cfg_.coprocessor.header_fifo_capacity);
   GcContext ctx{sb, mem, fifo, heap_, cfg_.coprocessor};
 
@@ -62,15 +65,41 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
   // the schedule policy picks. The default fixed order realizes the SB's
   // static-priority arbitration and its same-cycle lock hand-off; the
   // other policies explore alternative interleavings (src/fuzz/).
+  // Watchdog activity monitor: per-core progress signature and the cycle it
+  // last changed, so an expiry can localize the core that stopped making
+  // progress (a fail-stopped core misses its clock and freezes; a merely
+  // stalled or idle core still accrues stall/idle cycles).
+  std::vector<Cycle> last_sig(n, 0), last_change(n, 0);
+
   bool cores_halted = false;
+  Cycle halted_at = 0;
   while (true) {
+    if (fault != nullptr) fault->begin_clock(now);
     mem.tick(now);
     if (!cores_halted) {
       sb.begin_cycle();
       policy->order(now, sb, step_order);
       if (schedule_trace != nullptr) schedule_trace->record(now, step_order);
-      for (CoreId c : step_order) cores[c].step(now);
+      for (CoreId c : step_order) {
+        if (fault != nullptr) {
+          const CoreFate fate = fault->core_fate(c, sb.holds_free(c));
+          if (fate == CoreFate::kStopped) continue;  // fail-stop: no clock
+          if (fate == CoreFate::kStall) {
+            cores[c].note_fault_stall();
+            continue;
+          }
+        }
+        cores[c].step(now);
+      }
+      for (CoreId c = 0; c < n; ++c) {
+        const Cycle sig = cores[c].activity_signature();
+        if (sig != last_sig[c]) {
+          last_sig[c] = sig;
+          last_change[c] = now;
+        }
+      }
       cores_halted = all_done();
+      if (cores_halted) halted_at = now;
       // Table I: cycles during which the worklist is empty. Counted over
       // the parallel scan phase (after the start barrier released).
       if (!cores_halted && sb.barrier_generation() > start_gen &&
@@ -96,10 +125,39 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
       }
     }
     ++now;
-    if (cores_halted && mem.stores_drained()) break;  // flush complete
+    if (cores_halted && (mem.stores_drained() ||
+                         cfg_.coprocessor.skip_store_drain_for_test)) {
+      break;  // flush complete (or deliberately defeated by a test)
+    }
     if (now >= cfg_.coprocessor.watchdog_cycles) {
-      throw std::runtime_error("GC coprocessor watchdog expired after " +
-                               std::to_string(now) + " cycles");
+      // Localize a suspect before aborting. First preference: a ScanState
+      // bit that reads busy while the core's architectural bit is clear
+      // (stuck-at-1 fault). Second: the unfinished core whose activity
+      // signature has been frozen the longest — a core that missed its
+      // clock for an eighth of the whole budget is fail-stopped, not slow.
+      CoreId suspect = kNoCore;
+      for (CoreId c = 0; c < n && suspect == kNoCore; ++c) {
+        if (sb.busy(c) && !sb.busy_raw(c)) suspect = c;
+      }
+      if (suspect == kNoCore) {
+        Cycle worst = cfg_.coprocessor.watchdog_cycles / 8;
+        for (CoreId c = 0; c < n; ++c) {
+          if (cores[c].done()) continue;
+          const Cycle stale = now - last_change[c];
+          if (stale > worst) {
+            worst = stale;
+            suspect = c;
+          }
+        }
+      }
+      throw CollectionAbort(AbortReason::kWatchdog,
+                            "GC coprocessor watchdog expired after " +
+                                std::to_string(now) + " cycles" +
+                                (suspect == kNoCore
+                                     ? std::string{}
+                                     : ", suspect core " +
+                                           std::to_string(suspect)),
+                            suspect, now);
     }
   }
 
@@ -109,6 +167,9 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
   heap_.set_alloc_ptr(free_final);
 
   stats.total_cycles = now;
+  stats.drain_cycles = now - halted_at;
+  stats.restart_stores_drained = mem.stores_drained();
+  stats.faults_fired = fault != nullptr ? fault->fired_this_attempt() : 0;
   stats.words_copied = free_final - tospace_base;
   stats.fifo_overflows = fifo.overflows();
   stats.fifo_hits = fifo.hits();

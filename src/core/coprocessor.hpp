@@ -27,6 +27,7 @@
 namespace hwgc {
 
 class ScheduleTrace;
+class FaultInjector;
 
 class Coprocessor {
  public:
@@ -38,8 +39,12 @@ class Coprocessor {
   /// space; afterwards the graph lives compacted in the flipped space and
   /// the roots are redirected.
   ///
-  /// Throws std::runtime_error if the watchdog expires (a modeling bug —
-  /// the algorithm itself is deadlock-free by lock ordering).
+  /// Throws CollectionAbort (a std::runtime_error) when a detector trips:
+  /// watchdog expiry, header checksum mismatch, wild access/pointer or
+  /// evacuation overflow. Without fault injection the algorithm is
+  /// deadlock-free by lock ordering, so an abort indicates a modeling bug;
+  /// under injection the recovery layer (src/fault/recovery.hpp) catches
+  /// the abort and retries.
   ///
   /// If `trace` is non-null, the scan pointer, free pointer, gray-object
   /// word count and busy-core count are sampled on change every cycle —
@@ -51,8 +56,13 @@ class Coprocessor {
   /// prototype's static prioritization — by default). If `schedule_trace`
   /// is non-null the most recent step orders are recorded there, so a
   /// failing fuzz case can print the interleaving that broke it.
+  ///
+  /// `fault`, when non-null, is threaded through to the SyncBlock and the
+  /// memory scheduler and consulted for each core's fate every cycle; the
+  /// caller (normally RecoveringCollector) must have called begin_attempt.
   GcCycleStats collect(SignalTrace* trace = nullptr,
-                       ScheduleTrace* schedule_trace = nullptr);
+                       ScheduleTrace* schedule_trace = nullptr,
+                       FaultInjector* fault = nullptr);
 
   const SimConfig& config() const noexcept { return cfg_; }
 

@@ -1,9 +1,10 @@
 #include "core/gc_core.hpp"
 
 #include <cassert>
-#include <stdexcept>
+#include <string>
 
 #include "heap/object_model.hpp"
+#include "sim/abort.hpp"
 
 namespace hwgc {
 
@@ -13,7 +14,8 @@ GcCore::GcCore(CoreId id, GcContext& ctx)
       state_(id == 0 ? State::kRootInit : State::kStartBarrier),
       start_barrier_gen_(ctx.sb.barrier_generation()) {}
 
-void GcCore::step(Cycle /*now*/) {
+void GcCore::step(Cycle now) {
+  now_ = now;
   switch (state_) {
     case State::kRootInit: do_root_init(); break;
     case State::kStartBarrier: do_start_barrier(); break;
@@ -126,10 +128,25 @@ void GcCore::do_fetch_header_wait() {
     stall(StallReason::kHeaderLoad);
     return;
   }
+  verify_header_ecc(frame_addr_);
   const auto& m = ctx_.heap.memory();
   begin_object(m.load(attributes_addr(frame_addr_)),
                m.load(link_addr(frame_addr_)));
   work();
+}
+
+void GcCore::verify_header_ecc(Addr obj) const {
+  const auto& m = ctx_.heap.memory();
+  if (!m.ecc_enabled()) return;
+  for (const Addr a : {attributes_addr(obj), link_addr(obj)}) {
+    if (!m.ecc_ok(a)) {
+      throw CollectionAbort(AbortReason::kChecksum,
+                            "core " + std::to_string(id_) +
+                                ": header checksum mismatch at word " +
+                                std::to_string(a),
+                            id_, now_);
+    }
+  }
 }
 
 void GcCore::begin_object(Word attrs, Addr backlink) {
@@ -181,6 +198,16 @@ void GcCore::do_ptr_load_wait() {
     // processor is stopped.)
     fwd_ = child_;
     state_ = State::kPtrStore;
+  } else if (!ctx_.heap.layout().in_fromspace(child_)) {
+    // Address-decode fault detection: a pointer field must hold null or an
+    // address inside one of the semispaces. Anything else is a corrupted
+    // pointer (e.g. an injected bit flip) about to become a wild access.
+    throw CollectionAbort(AbortReason::kWildPointer,
+                          "core " + std::to_string(id_) +
+                              ": pointer field holds " +
+                              std::to_string(child_) +
+                              ", outside both semispaces",
+                          id_, now_);
   } else {
     state_ =
         ctx_.cfg.markbit_early_read ? State::kChildPeek : State::kChildLock;
@@ -204,6 +231,7 @@ void GcCore::do_child_peek_wait() {
     stall(StallReason::kHeaderLoad);
     return;
   }
+  verify_header_ecc(child_);
   const auto& m = ctx_.heap.memory();
   const Word attrs = m.load(attributes_addr(child_));
   if (is_forwarded(attrs)) {
@@ -231,6 +259,7 @@ void GcCore::do_child_header_wait() {
     stall(StallReason::kHeaderLoad);
     return;
   }
+  verify_header_ecc(child_);
   const auto& m = ctx_.heap.memory();
   child_attrs_ = m.load(attributes_addr(child_));
   if (is_forwarded(child_attrs_)) {
@@ -259,10 +288,14 @@ void GcCore::do_evacuate() {
   if (new_addr + size_c > ctx_.heap.layout().tospace_end() ||
       new_addr + size_c > ctx_.sb.alloc_top()) {
     // Never reachable with equally sized semispaces and the concurrent
-    // mutator's allocation admission control; a hard failure beats silent
-    // corruption of the allocation region.
-    throw std::runtime_error(
-        "evacuation overflow: tospace exhausted during collection");
+    // mutator's allocation admission control — unless a fault corrupted a
+    // header's size field; a hard failure beats silent corruption of the
+    // allocation region.
+    throw CollectionAbort(AbortReason::kOverflow,
+                          "core " + std::to_string(id_) +
+                              ": evacuation overflow, tospace exhausted "
+                              "during collection",
+                          id_, now_);
   }
   ctx_.sb.set_free(new_addr + size_c);
 

@@ -50,6 +50,19 @@ class GcCore {
   CoreId id() const noexcept { return id_; }
   const CoreCounters& counters() const noexcept { return counters_; }
 
+  /// Called by the clock loop instead of step() when an injected transient
+  /// stall holds the core's clock for this cycle.
+  void note_fault_stall() { stall(StallReason::kFault); }
+
+  /// Monotone progress signature for the watchdog's per-core activity
+  /// monitor: advances every cycle the core is stepped (work, idle spin or
+  /// stall all count), freezes only when the core misses its clock — which
+  /// under fault injection means a fail-stopped core.
+  Cycle activity_signature() const noexcept {
+    return counters_.busy_cycles + counters_.idle_cycles +
+           counters_.total_stalls();
+  }
+
  private:
   enum class State : std::uint8_t {
     // Root phase (core 0) / start barrier (all cores).
@@ -116,10 +129,16 @@ class GcCore {
   /// enabled) or straight to blackening when there is no data.
   State data_phase_state() const;
 
+  /// Header-load ECC check (fault detection): verifies the checksums of
+  /// both header words of `obj` before the core consumes them. Throws
+  /// CollectionAbort(kChecksum) on a mismatch. No-op with ECC disabled.
+  void verify_header_ecc(Addr obj) const;
+
   CoreId id_;
   GcContext& ctx_;
   CoreCounters counters_{};
   State state_;
+  Cycle now_ = 0;  ///< current clock, for abort reports
 
   // Per-object registers (the core's register file).
   Addr frame_addr_ = kNullPtr;  ///< tospace copy under construction

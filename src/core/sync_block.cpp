@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault_injector.hpp"
+
 namespace hwgc {
 
-SyncBlock::SyncBlock(std::uint32_t num_cores)
-    : header_locks_(num_cores),
+SyncBlock::SyncBlock(std::uint32_t num_cores, FaultInjector* fault)
+    : fault_(fault),
+      header_locks_(num_cores),
       busy_(num_cores, 0),
       barrier_arrived_(num_cores, 0) {
   assert(num_cores >= 1);
@@ -32,6 +35,9 @@ bool SyncBlock::try_lock_scan(CoreId core) {
   assert(core < num_cores());
   if (scan_owner_ == core) return true;
   if (scan_owner_ != kNoOwner || scan_acquired_this_cycle_) return false;
+  if (fault_ != nullptr && fault_->lock_grant_suppressed(LockKind::kScan)) {
+    return false;  // injected arbitration glitch: grant withheld this cycle
+  }
   audit(core, "scan");
   scan_owner_ = core;
   scan_acquired_this_cycle_ = true;
@@ -48,6 +54,18 @@ bool SyncBlock::try_lock_free(CoreId core) {
   assert(core < num_cores());
   if (free_owner_ == core) return true;
   if (free_owner_ != kNoOwner || free_acquired_this_cycle_) return false;
+  if (fault_ != nullptr && fault_->lock_grant_suppressed(LockKind::kFree)) {
+    return false;
+  }
+  if (fault_ != nullptr && fault_->free_grant_fatal(core)) {
+    // The core dies at the grant, inside the 1-cycle free critical section:
+    // the lock stays held by a dead core and is never released, so every
+    // other core stalls on it until the watchdog aborts the attempt and
+    // recovery deconfigures the core.
+    free_owner_ = core;
+    free_acquired_this_cycle_ = true;
+    return false;
+  }
   free_owner_ = core;
   free_acquired_this_cycle_ = true;
   return true;
@@ -77,9 +95,16 @@ void SyncBlock::unlock_header(CoreId core) {
   header_locks_[core].reset();
 }
 
-bool SyncBlock::all_idle() const noexcept {
-  return std::all_of(busy_.begin(), busy_.end(),
-                     [](std::uint8_t b) { return b == 0; });
+bool SyncBlock::busy(CoreId core) const {
+  if (busy_[core] != 0) return true;
+  return fault_ != nullptr && fault_->busy_stuck(core);
+}
+
+bool SyncBlock::all_idle() const {
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    if (busy(c)) return false;
+  }
+  return true;
 }
 
 bool SyncBlock::stripe_publish(Addr orig, Addr copy, Word attrs) {

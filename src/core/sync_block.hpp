@@ -34,9 +34,13 @@
 
 namespace hwgc {
 
+class FaultInjector;
+
 class SyncBlock {
  public:
-  explicit SyncBlock(std::uint32_t num_cores);
+  /// `fault`, when non-null, can suppress scan/free lock grants (spurious
+  /// arbitration failure) and force busy bits to read stuck-at-1.
+  explicit SyncBlock(std::uint32_t num_cores, FaultInjector* fault = nullptr);
 
   std::uint32_t num_cores() const noexcept {
     return static_cast<std::uint32_t>(busy_.size());
@@ -91,11 +95,18 @@ class SyncBlock {
   // --- ScanState (termination detection) ----------------------------------
 
   void set_busy(CoreId core, bool b) noexcept { busy_[core] = b; }
-  bool busy(CoreId core) const noexcept { return busy_[core]; }
+
+  /// Reads the ScanState bit as the hardware would — including any injected
+  /// stuck-at-1 fault on it.
+  bool busy(CoreId core) const;
+
+  /// The core's actual architectural busy bit, bypassing stuck-at faults
+  /// (the watchdog's consistency check compares the two).
+  bool busy_raw(CoreId core) const noexcept { return busy_[core] != 0; }
 
   /// True when no core's busy bit is set — combined with scan == free this
   /// is the termination condition of Section IV.
-  bool all_idle() const noexcept;
+  bool all_idle() const;
 
   // --- stripe dispenser (Section VII future work 1) -------------------------
   //
@@ -168,6 +179,7 @@ class SyncBlock {
 
   static constexpr CoreId kNoOwner = ~CoreId{0};
 
+  FaultInjector* fault_ = nullptr;
   Addr scan_ = 0;
   Addr free_ = 0;
   Addr alloc_top_ = ~Addr{0};

@@ -23,6 +23,8 @@ SimConfig FuzzCase::sim_config() const {
   cfg.coprocessor.markbit_early_read = markbit_early_read;
   cfg.memory.latency_jitter = latency_jitter;
   cfg.memory.jitter_seed = schedule_seed ^ 0x9e3779b97f4a7c15ULL;
+  cfg.fault = fault;
+  cfg.recovery.enabled = fault.enabled();
   return cfg;
 }
 
@@ -33,6 +35,19 @@ std::string FuzzCase::summary() const {
      << " --fifo " << header_fifo_capacity << " --jitter " << latency_jitter;
   if (subobject_copy) os << " --subobject";
   if (markbit_early_read) os << " --earlyread";
+  if (fault.enabled()) {
+    os << " --fault-events " << fault.events << " --fault-seed " << fault.seed;
+    const FaultConfig fdef;
+    if (fault.class_mask != fdef.class_mask) {
+      os << " --fault-mask " << fault.class_mask;
+    }
+    if (fault.persistent_fraction != fdef.persistent_fraction) {
+      os << " --fault-persistent " << fault.persistent_fraction;
+    }
+    if (fault.trigger_scale != fdef.trigger_scale) {
+      os << " --fault-scale " << fault.trigger_scale;
+    }
+  }
   const FuzzGraphConfig def;
   if (graph.min_nodes != def.min_nodes) os << " --min-nodes " << graph.min_nodes;
   if (graph.max_nodes != def.max_nodes) os << " --max-nodes " << graph.max_nodes;
@@ -188,13 +203,44 @@ FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
   }
 
   ScheduleTrace sched(64);
-  Coprocessor coproc(fc.sim_config(), *hw.heap);
-  try {
-    v.coproc = coproc.collect(nullptr, &sched);
-  } catch (const std::exception& e) {
-    v.fail(std::string("coprocessor threw: ") + e.what());
-    v.schedule_tail = sched.dump();
-    return v;
+  if (fc.fault.enabled()) {
+    // Fault-injected runs go through the recovery machinery. The oracle's
+    // contract: the run either completes with a verified-identical heap
+    // (fault masked or explicitly recovered) or fails loudly here — an
+    // injected fault must never corrupt silently.
+    v.fault_run = true;
+    RecoveringCollector collector(fc.sim_config(), *hw.heap);
+    v.recovery = collector.collect();
+    v.coproc = v.recovery.stats;
+    if (!v.recovery.ok) {
+      v.fail("recovery failed: " + v.recovery.summary());
+      return v;
+    }
+    if (v.recovery.faults_injected != fc.fault.events) {
+      v.fail("fault plan holds " + std::to_string(v.recovery.faults_injected) +
+             " events, config requested " + std::to_string(fc.fault.events));
+    }
+    std::uint64_t fired = 0;
+    for (const auto& a : v.recovery.attempts) fired += a.faults_fired;
+    if (fired != v.recovery.faults_fired) {
+      v.fail("fault accounting mismatch: attempts account for " +
+             std::to_string(fired) + " firings, injector reports " +
+             std::to_string(v.recovery.faults_fired));
+    }
+    if (v.recovery.faults_fired != v.recovery.fault_log.size()) {
+      v.fail("fault log holds " + std::to_string(v.recovery.fault_log.size()) +
+             " entries for " + std::to_string(v.recovery.faults_fired) +
+             " firings");
+    }
+  } else {
+    Coprocessor coproc(fc.sim_config(), *hw.heap);
+    try {
+      v.coproc = coproc.collect(nullptr, &sched);
+    } catch (const std::exception& e) {
+      v.fail(std::string("coprocessor threw: ") + e.what());
+      v.schedule_tail = sched.dump();
+      return v;
+    }
   }
   v.sequential = SequentialCheney::collect(*ref.heap);
 
@@ -209,12 +255,16 @@ FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
     v.fail("lock order: " + x);
   }
 
-  // Per-object single-evacuation counters.
-  std::uint64_t evacuations = 0;
-  for (const auto& c : v.coproc.per_core) evacuations += c.objects_evacuated;
-  if (evacuations != pre.objects.size()) {
-    v.fail("evacuation count " + std::to_string(evacuations) +
-           " != " + std::to_string(pre.objects.size()) + " live objects");
+  // Per-object single-evacuation counters. (Not meaningful when recovery
+  // escalated to the software fallback: the sequential pass reports no
+  // per-core counters.)
+  if (!v.recovery.used_sequential_fallback) {
+    std::uint64_t evacuations = 0;
+    for (const auto& c : v.coproc.per_core) evacuations += c.objects_evacuated;
+    if (evacuations != pre.objects.size()) {
+      v.fail("evacuation count " + std::to_string(evacuations) +
+             " != " + std::to_string(pre.objects.size()) + " live objects");
+    }
   }
   if (v.coproc.objects_copied != v.sequential.objects_copied ||
       v.coproc.words_copied != v.sequential.words_copied) {

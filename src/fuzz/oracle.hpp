@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "baselines/sequential_cheney.hpp"
+#include "fault/recovery.hpp"
 #include "fuzz/fuzz_graph.hpp"
 #include "sim/config.hpp"
 #include "sim/counters.hpp"
@@ -40,6 +41,10 @@ struct FuzzCase {
   bool subobject_copy = false;
   bool markbit_early_read = false;
 
+  /// Hardware fault injection (fault.enabled() routes the case through the
+  /// detection-and-recovery machinery instead of the bare coprocessor).
+  FaultConfig fault{};
+
   /// The simulator configuration this case runs under.
   SimConfig sim_config() const;
 
@@ -54,6 +59,14 @@ struct FuzzVerdict {
   GcCycleStats coproc;
   SequentialGcStats sequential;
   std::uint64_t live_objects = 0;
+
+  /// Filled for fault-injected cases: how the run was recovered. The
+  /// oracle guarantees that a !ok verdict is raised whenever recovery
+  /// reported failure, the accounting doesn't add up, or the recovered
+  /// heap diverges from the sequential reference — an injected fault can
+  /// be masked or explicitly recovered, never silently corrupting.
+  bool fault_run = false;
+  RecoveryReport recovery;
 
   /// Tail of the per-cycle step orders; filled only on failure.
   std::string schedule_tail;

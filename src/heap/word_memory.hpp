@@ -4,13 +4,26 @@
 // Timing is modeled elsewhere (src/mem); this class only provides the
 // architectural contents. Address 0 is reserved so that 0 can serve as the
 // null pointer, exactly as in the prototype's object-based memory model.
+//
+// Every access is bounds-checked: an access outside the simulated memory
+// raises CollectionAbort(kWildAccess) rather than corrupting host memory.
+// A wild access can only result from a corrupted pointer or header, so the
+// check doubles as the memory module's address-decode fault detector.
+//
+// Optional ECC shadow (enable_ecc): a per-word checksum maintained on every
+// store. The fault injector's corrupt() flips a data bit *without* updating
+// the checksum — exactly what a DRAM bit flip does to a word protected by
+// ECC — so a later check (GC cores verify both header words on every header
+// load) detects the corruption.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "sim/abort.hpp"
 #include "sim/types.hpp"
 
 namespace hwgc {
@@ -23,46 +36,97 @@ class WordMemory {
 
   std::size_t size() const noexcept { return words_.size(); }
 
-  Word load(Addr a) const noexcept {
-    assert(a != kNullPtr && a < words_.size());
+  Word load(Addr a) const {
+    check(a);
     return words_[a];
   }
 
-  void store(Addr a, Word v) noexcept {
-    assert(a != kNullPtr && a < words_.size());
+  void store(Addr a, Word v) {
+    check(a);
     words_[a] = v;
+    if (!ecc_.empty()) ecc_[a] = ecc_of(v);
   }
 
   /// Atomic access for the host-threaded software baselines. The simulator
   /// never needs these (it is single-threaded and sequentializes cores
   /// within a cycle); the baselines run real std::threads over this memory
-  /// and must synchronize through the language memory model.
+  /// and must synchronize through the language memory model. The ECC shadow
+  /// is not maintained here — it belongs to the single-threaded simulator's
+  /// fault runs, which never use the atomic interface.
   Word load_atomic(Addr a,
-                   std::memory_order mo = std::memory_order_acquire) noexcept {
-    assert(a != kNullPtr && a < words_.size());
+                   std::memory_order mo = std::memory_order_acquire) {
+    check(a);
     return std::atomic_ref<Word>(words_[a]).load(mo);
   }
 
   void store_atomic(Addr a, Word v,
-                    std::memory_order mo = std::memory_order_release) noexcept {
-    assert(a != kNullPtr && a < words_.size());
+                    std::memory_order mo = std::memory_order_release) {
+    check(a);
     std::atomic_ref<Word>(words_[a]).store(v, mo);
   }
 
   /// Compare-and-swap on one word; returns true on success and updates
   /// `expected` with the observed value on failure.
-  bool cas(Addr a, Word& expected, Word desired) noexcept {
-    assert(a != kNullPtr && a < words_.size());
+  bool cas(Addr a, Word& expected, Word desired) {
+    check(a);
     return std::atomic_ref<Word>(words_[a]).compare_exchange_strong(
         expected, desired, std::memory_order_acq_rel);
   }
 
-  void fill(Word v) noexcept {
+  void fill(Word v) {
     for (auto& w : words_) w = v;
+    if (!ecc_.empty()) {
+      const std::uint8_t e = ecc_of(v);
+      for (auto& c : ecc_) c = e;
+    }
+  }
+
+  // --- ECC shadow (fault-injection support) ------------------------------
+
+  /// (Re)computes the checksum of every word and starts maintaining it on
+  /// each store. Idempotent; also heals any pending mismatch, which is what
+  /// the recovery layer relies on after restoring a pre-cycle image.
+  void enable_ecc() {
+    ecc_.resize(words_.size());
+    for (std::size_t a = 0; a < words_.size(); ++a) ecc_[a] = ecc_of(words_[a]);
+  }
+
+  bool ecc_enabled() const noexcept { return !ecc_.empty(); }
+
+  /// True when the word's checksum matches its contents (vacuously true
+  /// with ECC disabled).
+  bool ecc_ok(Addr a) const {
+    check(a);
+    return ecc_.empty() || ecc_[a] == ecc_of(words_[a]);
+  }
+
+  /// Fault injection: flip one bit of the stored word WITHOUT updating the
+  /// checksum — models an in-flight or in-array single-bit upset.
+  void corrupt(Addr a, unsigned bit) {
+    check(a);
+    words_[a] ^= Word{1} << (bit % 32);
+  }
+
+  /// XOR-fold checksum: any single-bit flip changes the fold, so every
+  /// injected single-bit corruption is detectable (parity-byte ECC model).
+  static std::uint8_t ecc_of(Word v) noexcept {
+    v ^= v >> 16;
+    v ^= v >> 8;
+    return static_cast<std::uint8_t>(v & 0xffu);
   }
 
  private:
+  void check(Addr a) const {
+    if (a == kNullPtr || a >= words_.size()) {
+      throw CollectionAbort(
+          AbortReason::kWildAccess,
+          "wild memory access at word address " + std::to_string(a) +
+              " (memory holds " + std::to_string(words_.size()) + " words)");
+    }
+  }
+
   std::vector<Word> words_;
+  std::vector<std::uint8_t> ecc_;
 };
 
 }  // namespace hwgc

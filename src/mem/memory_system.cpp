@@ -2,10 +2,14 @@
 
 #include <cassert>
 
+#include "fault/fault_injector.hpp"
+
 namespace hwgc {
 
-MemorySystem::MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores)
+MemorySystem::MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores,
+                           FaultInjector* fault)
     : cfg_(cfg),
+      fault_(fault),
       buffers_(static_cast<std::size_t>(num_cores) * kPortCount),
       jitter_rng_(cfg.jitter_seed) {
   if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 4 * num_cores;
@@ -48,7 +52,9 @@ void MemorySystem::tick(Cycle now) {
   //    class acceptance order is completion order (constant per-class
   //    latency), so only the fronts can retire — unless latency jitter is
   //    on, in which case completions interleave and the deque is scanned.
-  const bool out_of_order = cfg_.latency_jitter != 0;
+  // Injected delays stretch individual latencies, so fault runs need the
+  // out-of-order retire scan just like jittered ones.
+  const bool out_of_order = cfg_.latency_jitter != 0 || fault_ != nullptr;
   const auto retire = [&](std::deque<Inflight>& inflight) {
     for (auto it = inflight.begin(); it != inflight.end();) {
       if (it->complete_at > now) {
@@ -57,6 +63,14 @@ void MemorySystem::tick(Cycle now) {
         continue;
       }
       const Request& r = it->req;
+      if (it->ghost) {
+        // The duplicated store arrives a second time, resurrecting the
+        // value it was accepted with. No accounting: the original already
+        // committed and freed its slot.
+        fault_->on_ghost_store_retire(r.addr, it->replay_value);
+        it = inflight.erase(it);
+        continue;
+      }
       if (r.op == MemOp::kLoad) {
         buf(r.core, r.port).load_inflight = false;  // data arrived
       } else {
@@ -89,18 +103,43 @@ void MemorySystem::tick(Cycle now) {
     if (r.op == MemOp::kStore) {
       --buf(r.core, r.port).stores_waiting;  // slot frees on acceptance
     }
-    const Cycle extra =
-        out_of_order ? jitter_rng_.below(cfg_.latency_jitter + 1) : 0;
+    MemFaultAction fa;
+    if (fault_ != nullptr) {
+      fa = fault_->on_mem_accept(r.core, r.port, r.op, r.addr);
+    }
+    if (fa.kind == MemFaultAction::Kind::kDrop) {
+      // The transaction vanishes after acceptance: a dropped load never
+      // returns data (load_inflight stays set, the core stalls forever); a
+      // dropped store never commits (uncommitted_stores_ and the comparator
+      // array keep its entry, so the drain condition never holds). Either
+      // way only the watchdog can end the cycle.
+      it = queue_.erase(it);
+      ++accepted;
+      continue;
+    }
+    Cycle extra =
+        out_of_order && cfg_.latency_jitter != 0
+            ? jitter_rng_.below(cfg_.latency_jitter + 1)
+            : 0;
+    extra += fa.extra_delay;
+    Cycle complete_at;
+    std::deque<Inflight>* inflight;
     if (r.port == Port::kHeader) {
       if (header_cache_lookup_and_fill(r.addr)) {
-        inflight_header_fast_.push_back(
-            Inflight{r, now + cfg_.header_cache_hit_latency + extra});
+        complete_at = now + cfg_.header_cache_hit_latency + extra;
+        inflight = &inflight_header_fast_;
       } else {
-        inflight_header_.push_back(
-            Inflight{r, now + cfg_.header_latency + extra});
+        complete_at = now + cfg_.header_latency + extra;
+        inflight = &inflight_header_;
       }
     } else {
-      inflight_body_.push_back(Inflight{r, now + cfg_.latency + extra});
+      complete_at = now + cfg_.latency + extra;
+      inflight = &inflight_body_;
+    }
+    inflight->push_back(Inflight{r, complete_at, false, 0});
+    if (fa.kind == MemFaultAction::Kind::kDuplicate) {
+      inflight->push_back(Inflight{r, complete_at + 1 + fa.ghost_lag, true,
+                                   fa.replay_value});
     }
     it = queue_.erase(it);
     ++accepted;

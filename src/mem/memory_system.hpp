@@ -39,6 +39,8 @@
 
 namespace hwgc {
 
+class FaultInjector;
+
 class MemorySystem {
  public:
   /// Entries per store buffer. Two slots let an evacuation issue its pair
@@ -47,7 +49,11 @@ class MemorySystem {
   /// free-lock critical section requires.
   static constexpr std::uint8_t kStoreDepth = 2;
 
-  MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores);
+  /// `fault`, when non-null, is consulted for every accepted transaction
+  /// (src/fault/): it can drop the transaction, stretch its latency or
+  /// schedule a ghost duplicate of a store.
+  MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores,
+               FaultInjector* fault = nullptr);
 
   // --- Core-side buffer interface ---------------------------------------
 
@@ -113,6 +119,11 @@ class MemorySystem {
   struct Inflight {
     Request req;
     Cycle complete_at = 0;
+    /// Injected duplicate of a store: replays `replay_value` into the
+    /// functional memory when it retires; carries no buffer/drain
+    /// accounting (the architectural original already committed).
+    bool ghost = false;
+    Word replay_value = 0;
   };
 
   PortBuffer& buf(CoreId core, Port port) noexcept {
@@ -128,6 +139,7 @@ class MemorySystem {
   }
 
   MemoryConfig cfg_;
+  FaultInjector* fault_ = nullptr;
   std::vector<PortBuffer> buffers_;  // num_cores x kPortCount
   std::deque<Request> queue_;        // issued, not yet accepted
   // Accepted requests of one latency class complete in acceptance order

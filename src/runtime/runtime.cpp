@@ -79,8 +79,31 @@ Word Runtime::delta(Ref obj) const { return heap_.delta(addr(obj)); }
 const GcCycleStats& Runtime::collect() {
   // Allocation into the current space is dense, so alloc_ptr is already
   // consistent; the coprocessor flips the heap and republishes it.
-  Coprocessor coproc(cfg_, heap_);
-  history_.push_back(coproc.collect());
+  if (cfg_.fault.enabled() || cfg_.recovery.enabled) {
+    RecoveringCollector collector(cfg_, heap_);
+    RecoveryReport report = collector.collect();
+    if (!report.ok) {
+      recovery_history_.push_back(std::move(report));
+      throw std::runtime_error(
+          "Runtime: collection unrecoverable — " +
+          recovery_history_.back().summary());
+    }
+    history_.push_back(report.stats);
+    recovery_history_.push_back(std::move(report));
+  } else {
+    Coprocessor coproc(cfg_, heap_);
+    history_.push_back(coproc.collect());
+  }
+  // Section V-E: "the main processor is only restarted after all updates
+  // are written back to the memory". A cycle whose store buffers had not
+  // drained at restart must never publish its heap to the mutator.
+  if (!history_.back().restart_stores_drained) {
+    ++drain_violations_;
+    history_.pop_back();
+    throw std::logic_error(
+        "Runtime: mutator restart with undrained GC store buffers "
+        "(Section V-E restart condition violated)");
+  }
   return history_.back();
 }
 

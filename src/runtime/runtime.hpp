@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/recovery.hpp"
 #include "heap/heap.hpp"
 #include "sim/config.hpp"
 #include "sim/counters.hpp"
@@ -64,6 +65,16 @@ class Runtime {
   Word delta(Ref obj) const;
 
   /// Forces a collection cycle now.
+  ///
+  /// Section V-E restart condition: the main processor may only resume
+  /// once every GC store has been committed. The runtime enforces it —
+  /// a cycle that reports undrained store buffers (only possible through
+  /// the skip_store_drain_for_test backdoor) is refused with
+  /// std::logic_error and counted in drain_violations().
+  ///
+  /// With fault injection or recovery enabled in the config, the cycle
+  /// runs through the RecoveringCollector instead of the bare
+  /// coprocessor; per-cycle reports accumulate in recovery_history().
   const GcCycleStats& collect();
 
   /// Current heap address of a rooted reference. Only stable until the
@@ -75,6 +86,16 @@ class Runtime {
   const std::vector<GcCycleStats>& gc_history() const noexcept {
     return history_;
   }
+
+  /// Recovery reports, one per collection, when cycles run through the
+  /// fault-injection/recovery path (empty otherwise).
+  const std::vector<RecoveryReport>& recovery_history() const noexcept {
+    return recovery_history_;
+  }
+
+  /// Cycles that attempted to restart the mutator with undrained store
+  /// buffers (each one also raised std::logic_error).
+  std::uint64_t drain_violations() const noexcept { return drain_violations_; }
   std::uint64_t words_in_use() const noexcept { return heap_.used_words(); }
   std::uint64_t live_roots() const noexcept {
     return heap_.roots().size() - free_slots_.size();
@@ -92,6 +113,8 @@ class Runtime {
   SimConfig cfg_;
   std::vector<std::size_t> free_slots_;
   std::vector<GcCycleStats> history_;
+  std::vector<RecoveryReport> recovery_history_;
+  std::uint64_t drain_violations_ = 0;
 };
 
 }  // namespace hwgc

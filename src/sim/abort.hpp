@@ -1,0 +1,67 @@
+// Detected-fault abort of a collection cycle.
+//
+// The paper's coprocessor has no fault story: the lock protocol and
+// termination condition are argued correct assuming fault-free hardware.
+// The fault-injection subsystem (src/fault/) adds the detection machinery
+// the paper lacks; every detector reports through this exception so the
+// recovery layer can distinguish *why* a cycle was aborted and choose the
+// right escalation (retry, core deconfiguration, sequential fallback).
+//
+// CollectionAbort derives from std::runtime_error, so pre-existing callers
+// that treat any collection failure as fatal keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+/// Why a collection cycle was aborted. Each value corresponds to one
+/// detector in the fault-tolerance machinery.
+enum class AbortReason : std::uint8_t {
+  kWatchdog,     ///< per-collection cycle budget exceeded (hang / lost wakeup)
+  kChecksum,     ///< header ECC mismatch on a header load
+  kWildAccess,   ///< word access outside the simulated memory
+  kWildPointer,  ///< loaded pointer field outside both semispaces
+  kOverflow,     ///< evacuation ran past the tospace end
+  kVerifier,     ///< end-of-cycle heap verifier rejected the result
+  kUnrecoverable,///< recovery exhausted every escalation level
+};
+
+constexpr const char* to_string(AbortReason r) noexcept {
+  switch (r) {
+    case AbortReason::kWatchdog: return "watchdog";
+    case AbortReason::kChecksum: return "checksum";
+    case AbortReason::kWildAccess: return "wild-access";
+    case AbortReason::kWildPointer: return "wild-pointer";
+    case AbortReason::kOverflow: return "overflow";
+    case AbortReason::kVerifier: return "verifier";
+    case AbortReason::kUnrecoverable: return "unrecoverable";
+  }
+  return "?";
+}
+
+class CollectionAbort : public std::runtime_error {
+ public:
+  CollectionAbort(AbortReason reason, const std::string& what,
+                  CoreId suspect = kNoCore, Cycle at = 0)
+      : std::runtime_error(what), reason_(reason), suspect_(suspect), at_(at) {}
+
+  AbortReason reason() const noexcept { return reason_; }
+
+  /// Core the detector suspects caused the abort (kNoCore when the fault
+  /// could not be localized). Logical core id within the aborting attempt.
+  CoreId suspect() const noexcept { return suspect_; }
+
+  /// Clock cycle at which the abort was raised (0 when outside the clock).
+  Cycle at() const noexcept { return at_; }
+
+ private:
+  AbortReason reason_;
+  CoreId suspect_;
+  Cycle at_;
+};
+
+}  // namespace hwgc

@@ -122,8 +122,85 @@ struct CoprocessorConfig {
   bool enable_trace = false;
 
   /// Watchdog: abort a collection cycle that exceeds this many clock
-  /// cycles (indicates a modeling bug; the algorithm is deadlock-free).
+  /// cycles. With a fault-free coprocessor this is a modeling-bug backstop
+  /// (the algorithm is deadlock-free); under fault injection the recovery
+  /// layer tightens it to a budget derived from the live bytes so hangs
+  /// (dropped transactions, fail-stopped cores, stuck busy bits) are
+  /// detected in bounded time.
   Cycle watchdog_cycles = 4'000'000'000ULL;
+
+  /// TESTING BACKDOOR: restart the main processor as soon as the cores
+  /// halt, without waiting for the store buffers to drain — deliberately
+  /// violating the Section V-E restart condition so the Runtime-level
+  /// drain check can be regression-tested. Never set outside tests.
+  bool skip_store_drain_for_test = false;
+};
+
+/// Hardware fault injection (src/fault/). A nonzero `events` derives a
+/// seeded FaultPlan: each event targets one fault class (memory drop /
+/// duplicate / delay / single-bit corrupt per port class, SB lock-grant
+/// delay, stuck ScanState busy bit, core transient stall or fail-stop) on
+/// one physical core. The class values are FaultKind (fault/fault_plan.hpp);
+/// `class_mask` selects which classes the plan may draw from (bit i enables
+/// FaultKind i).
+struct FaultConfig {
+  std::uint64_t seed = 0;
+
+  /// Number of fault events to derive; 0 disables injection entirely.
+  std::uint32_t events = 0;
+
+  /// Probability that an event is a *hard* (persistent) fault that re-fires
+  /// on every retry until its target core is deconfigured. The remainder
+  /// are transients that fire at most once across the whole collection.
+  double persistent_fraction = 0.25;
+
+  /// Bitmask over FaultKind values (fault/fault_plan.hpp). Default: all.
+  std::uint32_t class_mask = 0xffffffffu;
+
+  /// Scale of fault trigger points: memory-transaction triggers are drawn
+  /// from [0, trigger_scale), cycle triggers from [0, 8 * trigger_scale).
+  std::uint32_t trigger_scale = 512;
+
+  bool enabled() const noexcept { return events > 0; }
+};
+
+/// Detection-and-recovery machinery (src/fault/recovery.hpp): watchdog
+/// budget derived from live bytes, header ECC verification, end-of-cycle
+/// heap verification, and the abort-and-retry / core-deconfiguration /
+/// sequential-fallback escalation ladder. Fromspace is intact until the
+/// flip, so an aborted cycle is recovered by restoring the pre-cycle image
+/// and re-running the whole collection.
+struct RecoveryConfig {
+  /// Force the recovery wrapper even with an empty fault plan (useful to
+  /// measure the detection machinery's overhead in fault-free runs).
+  bool enabled = false;
+
+  /// Watchdog budget = base + per_live_word * live words of the cycle.
+  /// Generous upper bounds: a healthy collection is far below them (even a
+  /// single core at full memory latency stays under ~60 cycles/word, and
+  /// the base absorbs injected delay/stall windows), while a hang is still
+  /// detected in time proportional to the live set.
+  Cycle watchdog_base = 25'000;
+  Cycle watchdog_per_live_word = 128;
+
+  /// Aborted attempts allowed per core configuration before escalating
+  /// (deconfigure the suspect core, or fall back to sequential Cheney).
+  std::uint32_t max_retries = 2;
+
+  /// Allow dropping a suspect core and re-running on N-1 cores.
+  bool allow_deconfigure = true;
+
+  /// Allow the last-resort escalation: run the software sequential Cheney
+  /// collector (the main processor collects; the coprocessor is bypassed).
+  bool allow_sequential_fallback = true;
+
+  /// Run the end-of-cycle heap verifier after every attempt — the
+  /// crash-consistency check before the mutator is restarted.
+  bool verify_heap = true;
+
+  /// Maintain and check the per-word header checksum (ECC-style): cores
+  /// verify both header words on every header load consumption.
+  bool header_ecc = true;
 };
 
 /// Heap geometry.
@@ -138,6 +215,8 @@ struct SimConfig {
   CoprocessorConfig coprocessor;
   MemoryConfig memory;
   HeapConfig heap;
+  FaultConfig fault;
+  RecoveryConfig recovery;
 
   /// Human-readable one-line summary, used by bench harness headers.
   std::string summary() const {
@@ -151,6 +230,10 @@ struct SimConfig {
     }
     if (memory.latency_jitter != 0) {
       s += " jitter=" + std::to_string(memory.latency_jitter);
+    }
+    if (fault.enabled()) {
+      s += " faults=" + std::to_string(fault.events) + "@" +
+           std::to_string(fault.seed);
     }
     return s;
   }

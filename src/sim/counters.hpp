@@ -30,6 +30,7 @@ enum class StallReason : std::uint8_t {
   kHeaderLoad,   ///< header-load buffer data not yet available
   kHeaderStore,  ///< header-store buffer still busy
   kBarrier,      ///< waiting at a synchronizing micro-instruction
+  kFault,        ///< injected transient stall / fail-stop (src/fault/)
   kCount
 };
 
@@ -47,6 +48,7 @@ constexpr std::string_view to_string(StallReason r) noexcept {
     case StallReason::kHeaderLoad: return "header-load";
     case StallReason::kHeaderStore: return "header-store";
     case StallReason::kBarrier: return "barrier";
+    case StallReason::kFault: return "fault";
     case StallReason::kCount: break;
   }
   return "?";
@@ -88,6 +90,20 @@ struct GcCycleStats {
   std::uint64_t mem_requests = 0;
   std::uint64_t fifo_hits = 0;
   std::uint64_t fifo_misses = 0;
+
+  /// Cycles spent between the last core halting and the store buffers
+  /// draining — the Section V-E restart condition window.
+  Cycle drain_cycles = 0;
+
+  /// True when every store had committed at the moment the main processor
+  /// was (logically) restarted. Always true unless the
+  /// skip_store_drain_for_test backdoor defeated the drain wait; the
+  /// Runtime refuses to restart the mutator when this is false.
+  bool restart_stores_drained = true;
+
+  /// Fault events that fired during this cycle (0 without injection).
+  std::uint64_t faults_fired = 0;
+
   std::vector<CoreCounters> per_core;
 
   /// Lock-order audit findings; must be empty (DESIGN.md invariant 6).

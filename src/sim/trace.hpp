@@ -56,7 +56,23 @@ class SignalTrace {
   const std::vector<std::string>& signal_names() const noexcept {
     return names_;
   }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    notes_.clear();
+  }
+
+  /// Timestamped free-form annotation — the software counterpart of the
+  /// monitor's event markers. The fault subsystem notes every injected
+  /// fault, abort, deconfiguration and fallback here so a trace tells the
+  /// full recovery story alongside the signal samples.
+  void note(Cycle cycle, std::string text) {
+    if (!enabled_) return;
+    if (notes_.size() >= max_events_) notes_.pop_front();
+    notes_.emplace_back(cycle, std::move(text));
+  }
+  const std::deque<std::pair<Cycle, std::string>>& notes() const noexcept {
+    return notes_;
+  }
 
   /// Dumps the trace as CSV (cycle,signal,value). Returns false on I/O
   /// failure.
@@ -114,6 +130,7 @@ class SignalTrace {
   bool enabled_ = false;
   std::size_t max_events_ = 1u << 20;
   std::deque<TraceEvent> events_;
+  std::deque<std::pair<Cycle, std::string>> notes_;
   std::vector<std::string> names_;
 };
 

@@ -28,6 +28,10 @@ using CoreId = std::uint32_t;
 /// Null pointer value inside the simulated heap.
 inline constexpr Addr kNullPtr = 0;
 
+/// Sentinel CoreId meaning "no core" (e.g. no suspect identified by the
+/// watchdog's per-core activity monitor).
+inline constexpr CoreId kNoCore = ~CoreId{0};
+
 /// Number of header words per object (attributes word + link word).
 inline constexpr Word kHeaderWords = 2;
 

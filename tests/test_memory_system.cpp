@@ -177,6 +177,51 @@ TEST(MemorySystem, HeaderStoreFillsCacheForLaterLoad) {
       << "write-allocate: the store must have installed the tag";
 }
 
+TEST(MemorySystem, JitterIsDeterministicAcrossFreshInstances) {
+  // Two fresh instances with the same jitter seed must complete identical
+  // request streams at identical cycles — the jitter is part of the
+  // deterministic replay, not an uncontrolled source of randomness.
+  MemoryConfig cfg = fast();
+  cfg.latency_jitter = 7;
+  cfg.jitter_seed = 123;
+  MemorySystem m1(cfg, 2);
+  MemorySystem m2(cfg, 2);
+  for (int round = 0; round < 20; ++round) {
+    Cycle n1 = 0, n2 = 0;
+    m1.issue_load(0, Port::kBody, 100 + round);
+    m2.issue_load(0, Port::kBody, 100 + round);
+    m1.issue_load(1, Port::kHeader, 500 + round);
+    m2.issue_load(1, Port::kHeader, 500 + round);
+    const Cycle a0 = wait_load(m1, 0, Port::kBody, n1);
+    const Cycle b0 = wait_load(m2, 0, Port::kBody, n2);
+    EXPECT_EQ(a0, b0) << "round " << round;
+    n1 = 0;
+    n2 = 0;
+    const Cycle a1 = wait_load(m1, 1, Port::kHeader, n1);
+    const Cycle b1 = wait_load(m2, 1, Port::kHeader, n2);
+    EXPECT_EQ(a1, b1) << "round " << round;
+  }
+}
+
+TEST(MemorySystem, JitterSeedChangesCompletionTiming) {
+  MemoryConfig cfg = fast();
+  cfg.latency_jitter = 7;
+  cfg.jitter_seed = 1;
+  MemoryConfig other = cfg;
+  other.jitter_seed = 2;
+  MemorySystem m1(cfg, 1);
+  MemorySystem m2(other, 1);
+  bool diverged = false;
+  for (int round = 0; round < 50 && !diverged; ++round) {
+    Cycle n1 = 0, n2 = 0;
+    m1.issue_load(0, Port::kBody, 100 + round);
+    m2.issue_load(0, Port::kBody, 100 + round);
+    diverged = wait_load(m1, 0, Port::kBody, n1) !=
+               wait_load(m2, 0, Port::kBody, n2);
+  }
+  EXPECT_TRUE(diverged);
+}
+
 TEST(MemorySystem, DrainAndIdle) {
   MemorySystem mem(fast(), 2);
   EXPECT_TRUE(mem.stores_drained());

@@ -1,0 +1,247 @@
+// Abort-and-retry recovery: the escalation ladder (retry → core
+// deconfiguration → sequential fallback), watchdog budget edge cases
+// (budget exactly equal to the fault-free cycle count, zero-object
+// collections, fail-stop inside the free critical section) and the
+// Runtime-level Section V-E store-drain restart condition.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/coprocessor.hpp"
+#include "fault/recovery.hpp"
+#include "heap/verifier.hpp"
+#include "runtime/runtime.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace hwgc {
+namespace {
+
+GraphPlan small_plan() { return make_benchmark_plan(BenchmarkId::kJlisp, 0.05); }
+
+TEST(Recovery, FaultFreeRunMatchesBareCoprocessor) {
+  const GraphPlan plan = small_plan();
+  Workload a = materialize(plan);
+  Workload b = materialize(plan);
+
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  Coprocessor coproc(cfg, *a.heap);
+  const GcCycleStats bare = coproc.collect();
+
+  cfg.recovery.enabled = true;
+  RecoveringCollector rc(cfg, *b.heap);
+  const RecoveryReport report = rc.collect();
+
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.attempts.size(), 1u);
+  EXPECT_FALSE(report.used_sequential_fallback);
+  EXPECT_EQ(report.faults_injected, 0u);
+  EXPECT_EQ(report.faults_fired, 0u);
+  // The detection machinery (ECC shadow, watchdog budget, verifier) must
+  // not perturb the simulated timing or the result.
+  EXPECT_EQ(report.stats.total_cycles, bare.total_cycles);
+  EXPECT_EQ(report.stats.objects_copied, bare.objects_copied);
+  EXPECT_EQ(report.stats.words_copied, bare.words_copied);
+  ASSERT_EQ(a.heap->alloc_ptr(), b.heap->alloc_ptr());
+}
+
+TEST(Recovery, WatchdogBudgetExactlyEqualToRuntimeSucceeds) {
+  const GraphPlan plan = small_plan();
+  Workload probe = materialize(plan);
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  Coprocessor coproc(cfg, *probe.heap);
+  const Cycle actual = coproc.collect().total_cycles;
+
+  // Budget == actual cycle count: the collection finishes on the last
+  // allowed cycle — the break must win over the watchdog check.
+  Workload w = materialize(plan);
+  cfg.recovery.enabled = true;
+  cfg.recovery.watchdog_base = actual;
+  cfg.recovery.watchdog_per_live_word = 0;
+  RecoveringCollector rc(cfg, *w.heap);
+  const RecoveryReport report = rc.collect();
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.stats.total_cycles, actual);
+}
+
+TEST(Recovery, WatchdogBudgetOneCycleShortEscalatesToFallback) {
+  const GraphPlan plan = small_plan();
+  Workload probe = materialize(plan);
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  Coprocessor coproc(cfg, *probe.heap);
+  const Cycle actual = coproc.collect().total_cycles;
+
+  // One cycle short: every coprocessor attempt deterministically hits the
+  // watchdog (retries and reduced-core re-runs are no faster), so the
+  // ladder must bottom out in the sequential software collector — and the
+  // heap must still come out correct.
+  Workload w = materialize(plan);
+  const HeapSnapshot pre = HeapSnapshot::capture(*w.heap);
+  cfg.recovery.enabled = true;
+  cfg.recovery.watchdog_base = actual - 1;
+  cfg.recovery.watchdog_per_live_word = 0;
+  RecoveringCollector rc(cfg, *w.heap);
+  const RecoveryReport report = rc.collect();
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.used_sequential_fallback);
+  EXPECT_GE(report.aborts(AbortReason::kWatchdog), 1u);
+  EXPECT_TRUE(verify_collection(pre, *w.heap).ok);
+}
+
+TEST(Recovery, ZeroObjectCollectionStaysUnderBaseBudget) {
+  // Empty root set: live_words == 0, so the budget is the base alone —
+  // the degenerate collection must fit and succeed on the first attempt.
+  Heap heap(512);
+  heap.allocate(2, 2);  // garbage only
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 8;
+  cfg.recovery.enabled = true;
+  cfg.recovery.watchdog_base = 1000;
+  cfg.recovery.watchdog_per_live_word = 64;
+  RecoveringCollector rc(cfg, heap);
+  const RecoveryReport report = rc.collect();
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.stats.objects_copied, 0u);
+  EXPECT_LT(report.stats.total_cycles, 1000u);
+}
+
+TEST(Recovery, PersistentFailStopHoldingFreeLockDeconfiguresCore) {
+  // The nastiest fail-stop: the core dies inside the free-lock critical
+  // section, so every other core stalls on the free lock forever. A
+  // persistent fault re-fires on every retry; recovery must localize the
+  // dead core, deconfigure it and finish on the remaining cores.
+  const GraphPlan plan = small_plan();
+  Workload w = materialize(plan);
+  const HeapSnapshot pre = HeapSnapshot::capture(*w.heap);
+
+  FaultPlan fplan;
+  FaultEvent e;
+  e.kind = FaultKind::kCoreFailStop;
+  e.persistent = true;
+  e.target_core = 1;
+  e.when_holding_free = true;
+  fplan.events.push_back(e);
+
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 2;
+  cfg.recovery.enabled = true;
+  RecoveringCollector rc(cfg, *w.heap, fplan);
+  const RecoveryReport report = rc.collect();
+
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_GE(report.aborts(AbortReason::kWatchdog), 1u);
+  ASSERT_EQ(report.deconfigured.size(), 1u);
+  EXPECT_EQ(report.deconfigured[0], 1u);
+  EXPECT_FALSE(report.used_sequential_fallback)
+      << "one healthy core remains; the coprocessor must finish the job";
+  EXPECT_TRUE(verify_collection(pre, *w.heap).ok);
+}
+
+TEST(Recovery, HeaderCorruptionCaughtByChecksumThenRetried) {
+  // A transient single-bit flip on the first consumed header: the core's
+  // ECC check must abort the attempt, and the clean retry must succeed
+  // without escalating further.
+  const GraphPlan plan = small_plan();
+  Workload w = materialize(plan);
+  const HeapSnapshot pre = HeapSnapshot::capture(*w.heap);
+
+  FaultPlan fplan;
+  FaultEvent e;
+  e.kind = FaultKind::kMemCorrupt;
+  e.target_core = 0;
+  e.port = Port::kHeader;
+  e.op = MemOp::kLoad;
+  e.trigger = 0;
+  e.bit = 5;
+  fplan.events.push_back(e);
+
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 2;
+  cfg.recovery.enabled = true;
+  RecoveringCollector rc(cfg, *w.heap, fplan);
+  const RecoveryReport report = rc.collect();
+
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.aborts(AbortReason::kChecksum), 1u);
+  EXPECT_EQ(report.attempts.size(), 2u);
+  EXPECT_FALSE(report.used_sequential_fallback);
+  EXPECT_EQ(report.faults_fired, 1u);
+  EXPECT_TRUE(verify_collection(pre, *w.heap).ok);
+}
+
+TEST(Recovery, ReportAccountsForEveryInjectedEvent) {
+  // Seeded end-to-end plan: whatever fires, the report's global counters
+  // must agree with the per-attempt records and the fault log.
+  const GraphPlan plan = small_plan();
+  Workload w = materialize(plan);
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  cfg.fault.seed = 11;
+  cfg.fault.events = 6;
+  cfg.fault.trigger_scale = 48;
+  cfg.recovery.enabled = true;
+  RecoveringCollector rc(cfg, *w.heap);
+  const RecoveryReport report = rc.collect();
+  ASSERT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.faults_injected, 6u);
+  std::uint64_t per_attempt = 0;
+  for (const auto& a : report.attempts) per_attempt += a.faults_fired;
+  EXPECT_EQ(per_attempt, report.faults_fired);
+  EXPECT_EQ(report.fault_log.size(), report.faults_fired);
+}
+
+TEST(Runtime, RestartRequiresDrainedStoreBuffers) {
+  // Section V-E: the main processor may only resume once every GC store
+  // has committed. The skip_store_drain_for_test backdoor deliberately
+  // violates the condition; without the Runtime-level enforcement this
+  // test would pass the corrupted restart through silently.
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  cfg.coprocessor.skip_store_drain_for_test = true;
+  Runtime rt(1 << 16, cfg);
+  Runtime::Ref a = rt.alloc(1, 2);
+  Runtime::Ref b = rt.alloc(0, 3);
+  rt.set_ptr(a, 0, b);
+  EXPECT_THROW(rt.collect(), std::logic_error);
+  EXPECT_EQ(rt.drain_violations(), 1u);
+  EXPECT_TRUE(rt.gc_history().empty())
+      << "a refused restart must not be recorded as a completed cycle";
+}
+
+TEST(Runtime, NormalCollectionDrainsAndRestarts) {
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  Runtime rt(1 << 16, cfg);
+  Runtime::Ref a = rt.alloc(1, 2);
+  Runtime::Ref b = rt.alloc(0, 3);
+  rt.set_ptr(a, 0, b);
+  const GcCycleStats& s = rt.collect();
+  EXPECT_TRUE(s.restart_stores_drained);
+  EXPECT_EQ(rt.drain_violations(), 0u);
+  EXPECT_EQ(s.objects_copied, 2u);
+}
+
+TEST(Runtime, FaultConfigRoutesCollectionThroughRecovery) {
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 4;
+  cfg.fault.seed = 5;
+  cfg.fault.events = 3;
+  cfg.fault.trigger_scale = 48;
+  Runtime rt(1 << 16, cfg);
+  Runtime::Ref a = rt.alloc(2, 1);
+  Runtime::Ref b = rt.alloc(0, 4);
+  rt.set_ptr(a, 0, b);
+  rt.set_ptr(a, 1, a);
+  rt.collect();
+  ASSERT_EQ(rt.recovery_history().size(), 1u);
+  const RecoveryReport& report = rt.recovery_history()[0];
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.faults_injected, 3u);
+}
+
+}  // namespace
+}  // namespace hwgc
