@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   Options opt = parse_options(argc, argv);
   print_header("Figure 5: GC cycle speedup vs number of GC cores", opt);
 
+  MetricsRegistry reg;
   const std::uint32_t core_counts[] = {1, 2, 4, 8, 16};
   std::printf("%-10s %12s |", "benchmark", "1-core cyc");
   for (auto c : core_counts) std::printf(" %7u", c);
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
       SimConfig cfg;
       cfg.coprocessor.num_cores = cores;
       const GcCycleStats stats = run_collection(id, opt, cfg);
+      reg.record(metrics_key(id, cores, opt), cfg, stats);
       if (cores == 1) {
         base = static_cast<double>(stats.total_cycles);
         std::printf(" %12llu |",
@@ -41,5 +43,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper: db/javac-class benchmarks reach ~7.4x @8 and "
               "~12.1x @16; compress/search stay flat)\n");
-  return 0;
+  return maybe_write_jsonl(reg, opt, "fig5_scaling") ? 0 : 1;
 }

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   print_header(
       "Figure 6: speedup with +20 cycles artificial memory latency", opt);
 
+  MetricsRegistry reg;
   const std::uint32_t core_counts[] = {1, 2, 4, 8, 16};
   std::printf("%-10s %12s |", "benchmark", "1-core cyc");
   for (auto c : core_counts) std::printf(" %7u", c);
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
       cfg.memory.latency += 20;  // the paper's artificial latency,
       cfg.memory.header_latency += 20;  // added to every memory access
       const GcCycleStats stats = run_collection(id, opt, cfg);
+      reg.record(metrics_key(id, cores, opt), cfg, stats);
       if (cores == 1) {
         base = static_cast<double>(stats.total_cycles);
         std::printf(" %12llu |",
@@ -44,5 +46,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper: scalability improves vs Figure 5 for all "
               "benchmarks with sufficient object-level parallelism)\n");
-  return 0;
+  return maybe_write_jsonl(reg, opt, "fig6_latency") ? 0 : 1;
 }

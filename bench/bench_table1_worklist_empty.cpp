@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   Options opt = parse_options(argc, argv);
   print_header("Table I: fraction of cycles with empty worklist", opt);
 
+  MetricsRegistry reg;
   const std::uint32_t core_counts[] = {1, 2, 4, 8, 16};
   std::printf("%-10s", "benchmark");
   for (auto c : core_counts) std::printf(" %8u%s", c, c == 1 ? "core" : "");
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
       SimConfig cfg;
       cfg.coprocessor.num_cores = cores;
       const GcCycleStats stats = run_collection(id, opt, cfg);
+      reg.record(metrics_key(id, cores, opt), cfg, stats);
       std::printf(" %8.2f%%", 100.0 * stats.worklist_empty_fraction());
       std::fflush(stdout);
     }
@@ -34,5 +36,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(paper: compress/search >98%% from 4 cores; jflex 5.5%% @8, "
               "35%% @16; cup/db/javac <0.1%%)\n");
-  return 0;
+  return maybe_write_jsonl(reg, opt, "table1_worklist_empty") ? 0 : 1;
 }

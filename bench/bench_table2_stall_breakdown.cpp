@@ -28,10 +28,12 @@ int main(int argc, char** argv) {
   for (auto r : cols) std::printf(" | %-18s", std::string(to_string(r)).c_str());
   std::printf("\n");
 
+  MetricsRegistry reg;
   for (BenchmarkId id : opt.benchmarks) {
     SimConfig cfg;
     cfg.coprocessor.num_cores = 16;
     const GcCycleStats stats = run_collection(id, opt, cfg);
+    reg.record(metrics_key(id, 16, opt), cfg, stats);
     const double total = static_cast<double>(stats.total_cycles);
     std::printf("%-10s %10llu", std::string(benchmark_name(id)).c_str(),
                 static_cast<unsigned long long>(stats.total_cycles));
@@ -45,5 +47,5 @@ int main(int argc, char** argv) {
   std::printf("\n(paper @16 cores: javac header-lock 29.4%%; cup scan-lock "
               "10.5%% + header-load 38.6%%; db header-load 33%%, body-load "
               "21%%; store stalls ~0)\n");
-  return 0;
+  return maybe_write_jsonl(reg, opt, "table2_stall_breakdown") ? 0 : 1;
 }

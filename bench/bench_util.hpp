@@ -8,6 +8,9 @@
 //                 relative results, which bench_heapsize_ablation checks.)
 //   --seed=<n>    workload seed
 //   --bench=<name[,name...]>  subset of benchmarks to run
+//   --json[=path] additionally emit the aggregated metrics as stable-schema
+//                 JSONL (default path BENCH_<suite>.json; schema
+//                 hwgc-bench-v1, see src/telemetry/metrics.hpp)
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 
 #include "core/coprocessor.hpp"
 #include "sim/config.hpp"
+#include "telemetry/metrics.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace hwgc::bench {
@@ -27,6 +31,8 @@ struct Options {
   double scale = 0.25;
   std::uint64_t seed = 42;
   std::vector<BenchmarkId> benchmarks = all_benchmarks();
+  bool json = false;
+  std::string json_path;  ///< empty: BENCH_<suite>.json
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -54,9 +60,15 @@ inline Options parse_options(int argc, char** argv) {
         std::fprintf(stderr, "unknown benchmark list: %s\n", list.c_str());
         std::exit(2);
       }
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json = true;
+      opt.json_path = arg.substr(7);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--scale=F] [--seed=N] [--bench=a,b,...]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--scale=F] [--seed=N] [--bench=a,b,...] [--json[=path]]\n",
+          argv[0]);
       std::exit(0);
     }
   }
@@ -76,6 +88,33 @@ inline void print_header(const char* title, const Options& opt) {
   std::printf("## %s\n", title);
   std::printf("## scale=%.3g seed=%llu (paper-sized heaps: --scale=1)\n\n",
               opt.scale, static_cast<unsigned long long>(opt.seed));
+}
+
+/// Registry key for one measured configuration of this run.
+inline MetricsRegistry::Key metrics_key(BenchmarkId id, std::uint32_t cores,
+                                        const Options& opt) {
+  MetricsRegistry::Key key;
+  key.benchmark = std::string(benchmark_name(id));
+  key.cores = cores;
+  key.scale = opt.scale;
+  key.seed = opt.seed;
+  return key;
+}
+
+/// Writes the registry as BENCH_<suite>.json (or --json=path) when --json
+/// was requested. Returns false after printing a diagnostic on I/O failure,
+/// so callers can turn it into a nonzero exit code.
+inline bool maybe_write_jsonl(const MetricsRegistry& reg, const Options& opt,
+                              const std::string& suite) {
+  if (!opt.json) return true;
+  const std::string path =
+      opt.json_path.empty() ? "BENCH_" + suite + ".json" : opt.json_path;
+  if (!reg.write_jsonl(path, suite)) {
+    std::fprintf(stderr, "error: failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("\nwrote %zu metric record(s) to %s\n", reg.size(), path.c_str());
+  return true;
 }
 
 }  // namespace hwgc::bench

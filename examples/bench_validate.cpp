@@ -1,0 +1,37 @@
+// bench_validate — schema gate for hwgc-bench-v1 JSONL metric files.
+//
+// Validates every line of every file named on the command line against the
+// stable schema (telemetry/metrics.hpp validate_bench_jsonl_file): required
+// keys present and correctly typed, fractions within [0, 1], percentile
+// ordering. CI runs it over freshly produced BENCH_*.json artifacts so a
+// schema drift fails the build rather than silently breaking downstream
+// dashboards.
+//
+// Usage: bench_validate FILE [FILE...]
+// Exit status: 0 all files valid, 1 any violation or unreadable file,
+//              2 usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_validate FILE [FILE...]\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<std::string> errors;
+    const bool ok = hwgc::validate_bench_jsonl_file(argv[i], &errors);
+    if (ok) {
+      std::printf("%s: OK\n", argv[i]);
+      continue;
+    }
+    all_ok = false;
+    std::printf("%s: INVALID\n", argv[i]);
+    for (const auto& e : errors) std::printf("  %s\n", e.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

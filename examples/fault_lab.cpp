@@ -26,6 +26,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "fuzz/oracle.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace {
 
@@ -43,6 +44,11 @@ void usage() {
       "  --max-nodes N     object-graph size cap (default 96)\n"
       "  --fault-scale N   trigger-point scale (default 48; small keeps the\n"
       "                    trigger points inside these short collections)\n"
+      "  --trace-json P    re-run the most interesting case (first one that\n"
+      "                    needed recovery, else first that fired a fault)\n"
+      "                    with telemetry attached and export its timeline —\n"
+      "                    every attempt, injected fault, abort and recovery\n"
+      "                    action — as Chrome-trace JSON to P\n"
       "  -v, --verbose     print every run, not just the matrix\n";
 }
 
@@ -55,6 +61,7 @@ struct Options {
   std::uint64_t graph_seed = 42;
   std::uint32_t max_nodes = 96;
   std::uint32_t fault_scale = 48;
+  std::string trace_json;
   bool verbose = false;
 };
 
@@ -111,6 +118,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "--fault-scale") {
       opt.fault_scale =
           static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+    } else if (a == "--trace-json") {
+      opt.trace_json = next(i);
     } else if (a == "-v" || a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -170,6 +179,13 @@ int main(int argc, char** argv) {
   Tally total;
   bool any_failed = false;
 
+  // The case re-run for --trace-json: prefer the first run that actually
+  // exercised recovery, then the first whose faults at least fired, then
+  // the first run at all. Runs are seeded, so the re-run is exact.
+  hwgc::FuzzCase interesting{};
+  std::string interesting_outcome;
+  int interesting_rank = -1;
+
   for (const hwgc::FaultKind kind : opt.classes) {
     Tally& t = per_class[static_cast<std::size_t>(kind)];
     for (const std::uint32_t cores : opt.cores) {
@@ -194,6 +210,14 @@ int main(int argc, char** argv) {
           t.injected += v.recovery.faults_injected;
           t.fired += v.recovery.faults_fired;
           const std::string outcome = classify(v);
+          const int rank = outcome != "masked"          ? 2
+                           : v.recovery.faults_fired > 0 ? 1
+                                                         : 0;
+          if (rank > interesting_rank) {
+            interesting = fc;
+            interesting_outcome = outcome;
+            interesting_rank = rank;
+          }
           if (outcome == "FAILED") {
             ++t.failed;
             any_failed = true;
@@ -250,6 +274,22 @@ int main(int argc, char** argv) {
             << total.deconfigured << std::setw(7) << total.fallback
             << std::setw(7) << total.failed << std::setw(10) << total.injected
             << std::setw(6) << total.fired << "\n";
+
+  if (!opt.trace_json.empty() && interesting_rank >= 0) {
+    hwgc::TelemetryBus bus;
+    const hwgc::FuzzVerdict v = hwgc::run_fuzz_case(interesting, &bus);
+    if (!hwgc::write_chrome_trace(bus, opt.trace_json)) {
+      std::cerr << "error: failed to write " << opt.trace_json << "\n";
+      return 1;
+    }
+    std::cout << "\nre-ran '" << interesting_outcome << "' case ("
+              << interesting.summary() << ") with telemetry: "
+              << v.recovery.attempts.size() << " attempt(s), "
+              << v.recovery.faults_fired << " fault(s) fired\n"
+              << "wrote recovery timeline (" << bus.spans().size()
+              << " spans, " << bus.instants().size() << " instants) to "
+              << opt.trace_json << "\n";
+  }
 
   if (any_failed) {
     std::cout << "fault_lab: FAILURES detected — silent corruption or "

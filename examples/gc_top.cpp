@@ -1,0 +1,259 @@
+// gc_top — live terminal dashboard over the managed runtime.
+//
+// Churns a ShadowMutator against a small semispace so collection cycles
+// happen continuously, and redraws a per-core activity panel after every
+// cycle: busy/stall/idle bars, the dominant stall reason, worklist
+// occupancy, header-FIFO effectiveness and (with --faults) the recovery
+// ladder counters. This is the interactive face of the paper's Section
+// VI-A monitoring framework: the same hardware performance counters, read
+// once per collection instead of post-mortem.
+//
+// Usage:
+//   gc_top [options]
+//     --cores=N         GC cores (default 4)
+//     --heap-words=N    semispace size in words (default 8192)
+//     --collections=N   stop after N collection cycles (default 8)
+//     --every=N         mutator steps between forced collections (default 300)
+//     --interval-ms=N   frame delay (default 150; use 0 for CI/scripts)
+//     --seed=N          mutator seed (default 1)
+//     --faults=N        inject N seeded fault events per cycle and route
+//                       collections through the recovery machinery
+//     --no-clear        append frames instead of redrawing (logs, CI)
+//     --json=PATH       write the session's aggregated metrics (min/mean/
+//                       p50/p99 across all cycles) as hwgc-bench-v1 JSONL
+//     --trace-json=PATH export the whole session timeline — one telemetry
+//                       epoch per collection — as Chrome-trace JSON
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_export.hpp"
+#include "workloads/mutator.hpp"
+
+using namespace hwgc;
+
+namespace {
+
+struct CliOptions {
+  std::uint32_t cores = 4;
+  Word heap_words = 8192;
+  std::uint32_t collections = 8;
+  std::uint32_t every = 300;
+  std::uint32_t interval_ms = 150;
+  std::uint64_t seed = 1;
+  std::uint32_t faults = 0;
+  bool no_clear = false;
+  std::string json_path;
+  std::string trace_json;
+};
+
+bool parse_u32(const std::string& arg, const char* key, std::uint32_t& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = static_cast<std::uint32_t>(
+      std::strtoul(arg.c_str() + prefix.size(), nullptr, 10));
+  return true;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    std::uint32_t v = 0;
+    if (parse_u32(a, "--cores", v)) {
+      o.cores = v;
+    } else if (parse_u32(a, "--heap-words", v)) {
+      o.heap_words = v;
+    } else if (parse_u32(a, "--collections", v)) {
+      o.collections = v;
+    } else if (parse_u32(a, "--every", v)) {
+      o.every = v;
+    } else if (parse_u32(a, "--interval-ms", v)) {
+      o.interval_ms = v;
+    } else if (parse_u32(a, "--faults", v)) {
+      o.faults = v;
+    } else if (a.rfind("--seed=", 0) == 0) {
+      o.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a == "--no-clear") {
+      o.no_clear = true;
+    } else if (a.rfind("--json=", 0) == 0) {
+      o.json_path = a.substr(7);
+    } else if (a.rfind("--trace-json=", 0) == 0) {
+      o.trace_json = a.substr(13);
+    } else if (a == "--help" || a == "-h") {
+      std::printf("see the header of examples/gc_top.cpp for options\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Renders busy/stall/idle as a fixed-width ASCII bar: '#' busy, '=' stall,
+/// '.' idle.
+std::string activity_bar(const CoreCounters& c, int width) {
+  const double busy = static_cast<double>(c.busy_cycles);
+  const double stall = static_cast<double>(c.total_stalls());
+  const double idle = static_cast<double>(c.idle_cycles);
+  const double total = busy + stall + idle;
+  std::string bar;
+  if (total <= 0.0) {
+    bar.assign(static_cast<std::size_t>(width), '.');
+    return bar;
+  }
+  const int nb = static_cast<int>(busy / total * width + 0.5);
+  int ns = static_cast<int>(stall / total * width + 0.5);
+  if (nb + ns > width) ns = width - nb;
+  bar.append(static_cast<std::size_t>(nb), '#');
+  bar.append(static_cast<std::size_t>(ns), '=');
+  bar.append(static_cast<std::size_t>(width - nb - ns), '.');
+  return bar;
+}
+
+StallReason dominant_stall(const CoreCounters& c) {
+  StallReason best = StallReason::kNone;
+  Cycle most = 0;
+  for (std::size_t r = 1; r < kStallReasonCount; ++r) {
+    if (c.stalls[r] > most) {
+      most = c.stalls[r];
+      best = static_cast<StallReason>(r);
+    }
+  }
+  return best;
+}
+
+void render(const CliOptions& o, const Runtime& rt, const ShadowMutator& mut) {
+  const auto& hist = rt.gc_history();
+  const GcCycleStats& s = hist.back();
+  if (!o.no_clear) std::printf("\x1b[2J\x1b[H");
+
+  Cycle sum = 0, worst = 0;
+  for (const auto& h : hist) {
+    sum += h.total_cycles;
+    if (h.total_cycles > worst) worst = h.total_cycles;
+  }
+  std::printf("gc_top — %u cores, %llu-word semispace  |  collection %zu\n",
+              o.cores, static_cast<unsigned long long>(o.heap_words),
+              hist.size());
+  std::printf("heap %llu/%llu words in use, %llu roots, %llu allocations\n",
+              static_cast<unsigned long long>(rt.words_in_use()),
+              static_cast<unsigned long long>(o.heap_words),
+              static_cast<unsigned long long>(rt.live_roots()),
+              static_cast<unsigned long long>(mut.allocations()));
+  std::printf("last cycle: %llu clk (%llu obj, %llu words copied), "
+              "worklist empty %.1f%%\n",
+              static_cast<unsigned long long>(s.total_cycles),
+              static_cast<unsigned long long>(s.objects_copied),
+              static_cast<unsigned long long>(s.words_copied),
+              100.0 * s.worklist_empty_fraction());
+  std::printf("fifo: %llu hits / %llu misses / %llu overflows  |  "
+              "mem requests: %llu\n",
+              static_cast<unsigned long long>(s.fifo_hits),
+              static_cast<unsigned long long>(s.fifo_misses),
+              static_cast<unsigned long long>(s.fifo_overflows),
+              static_cast<unsigned long long>(s.mem_requests));
+  std::printf("session: mean %.0f clk/cycle, worst %llu\n\n",
+              static_cast<double>(sum) / static_cast<double>(hist.size()),
+              static_cast<unsigned long long>(worst));
+
+  std::printf("      %-44s %5s %5s %5s  top stall\n", "# busy  = stall  . idle",
+              "busy%", "stl%", "idle%");
+  for (std::size_t i = 0; i < s.per_core.size(); ++i) {
+    const CoreCounters& c = s.per_core[i];
+    const double total = static_cast<double>(c.busy_cycles) +
+                         static_cast<double>(c.total_stalls()) +
+                         static_cast<double>(c.idle_cycles);
+    const double denom = total > 0.0 ? total : 1.0;
+    const StallReason top = dominant_stall(c);
+    std::printf("c%-3zu [%s] %4.0f%% %4.0f%% %4.0f%%  %s\n", i,
+                activity_bar(c, 44).c_str(),
+                100.0 * static_cast<double>(c.busy_cycles) / denom,
+                100.0 * static_cast<double>(c.total_stalls()) / denom,
+                100.0 * static_cast<double>(c.idle_cycles) / denom,
+                top == StallReason::kNone ? "-"
+                                          : std::string(to_string(top)).c_str());
+  }
+
+  const auto& rec = rt.recovery_history();
+  if (!rec.empty()) {
+    std::uint64_t fired = 0, attempts = 0, fallbacks = 0, deconf = 0;
+    for (const auto& r : rec) {
+      fired += r.faults_fired;
+      attempts += r.attempts.size();
+      fallbacks += r.used_sequential_fallback ? 1 : 0;
+      deconf += r.deconfigured.size();
+    }
+    std::printf("\nrecovery: %llu fault(s) fired, %llu attempt(s), "
+                "%llu core(s) deconfigured, %llu sequential fallback(s)\n",
+                static_cast<unsigned long long>(fired),
+                static_cast<unsigned long long>(attempts),
+                static_cast<unsigned long long>(deconf),
+                static_cast<unsigned long long>(fallbacks));
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions o = parse(argc, argv);
+
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = o.cores;
+  if (o.faults > 0) {
+    cfg.fault.events = o.faults;
+    cfg.fault.seed = o.seed;
+  }
+  Runtime rt(o.heap_words, cfg);
+
+  TelemetryBus bus;
+  if (!o.trace_json.empty()) rt.set_telemetry(&bus);
+
+  ShadowMutator::Config mcfg;
+  mcfg.seed = o.seed;
+  ShadowMutator mut(mcfg);
+
+  for (std::uint32_t n = 0; n < o.collections; ++n) {
+    mut.run(rt, o.every);
+    rt.collect();
+    render(o, rt, mut);
+    if (o.interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(o.interval_ms));
+    }
+  }
+
+  const std::size_t mismatches = mut.validate(rt);
+  std::printf("\nshadow validation after %zu collection(s): %zu mismatches\n",
+              rt.gc_history().size(), mismatches);
+
+  if (!o.trace_json.empty()) {
+    if (!write_chrome_trace(bus, o.trace_json)) {
+      std::fprintf(stderr, "error: failed to write %s\n", o.trace_json.c_str());
+      return 1;
+    }
+    std::printf("wrote session timeline (%zu epochs, %zu spans) to %s\n",
+                bus.epochs().size(), bus.spans().size(), o.trace_json.c_str());
+  }
+  if (!o.json_path.empty()) {
+    MetricsRegistry reg;
+    MetricsRegistry::Key key;
+    key.benchmark = "gc_top";
+    key.cores = o.cores;
+    key.scale = 0.0;
+    key.seed = o.seed;
+    for (const auto& s : rt.gc_history()) reg.record(key, cfg, s);
+    if (!reg.write_jsonl(o.json_path, "gc_top")) {
+      std::fprintf(stderr, "error: failed to write %s\n", o.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu aggregated metric record(s) to %s\n", reg.size(),
+                o.json_path.c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}

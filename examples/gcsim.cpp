@@ -21,6 +21,11 @@
 //     --concurrent      run the mutator concurrently (read barrier)
 //     --csv             one CSV row instead of the report
 //     --verify          check the heap against a pre-cycle snapshot
+//     --trace-json=PATH export the cycle's full telemetry timeline
+//                       (phases, per-core activity/stall spans, lock holds,
+//                       FIFO/memory counters, merged signal samples) as
+//                       Chrome-trace JSON — load in ui.perfetto.dev
+//     --bench-json=PATH emit the run's metrics as hwgc-bench-v1 JSONL
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +34,8 @@
 #include "core/concurrent_cycle.hpp"
 #include "core/coprocessor.hpp"
 #include "heap/verifier.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_export.hpp"
 #include "workloads/benchmarks.hpp"
 #include "workloads/random_graph.hpp"
 
@@ -44,6 +51,8 @@ struct CliOptions {
   bool concurrent = false;
   bool csv = false;
   bool verify = false;
+  std::string trace_json;  ///< empty: no timeline export
+  std::string bench_json;  ///< empty: no metrics export
 };
 
 bool parse_u32(const std::string& arg, const char* key, std::uint32_t& out) {
@@ -88,6 +97,10 @@ CliOptions parse(int argc, char** argv) {
       o.csv = true;
     } else if (a == "--verify") {
       o.verify = true;
+    } else if (a.rfind("--trace-json=", 0) == 0) {
+      o.trace_json = a.substr(13);
+    } else if (a.rfind("--bench-json=", 0) == 0) {
+      o.bench_json = a.substr(13);
     } else if (a == "--help" || a == "-h") {
       std::printf("see the header of examples/gcsim.cpp for options\n");
       std::exit(0);
@@ -206,12 +219,42 @@ int main(int argc, char** argv) {
   const HeapSnapshot pre =
       o.verify ? HeapSnapshot::capture(*w.heap) : HeapSnapshot{};
   Coprocessor coproc(o.sim, *w.heap);
-  const GcCycleStats s = coproc.collect();
+  TelemetryBus bus;
+  SignalTrace signals;
+  const bool tracing = !o.trace_json.empty();
+  const GcCycleStats s = coproc.collect(tracing ? &signals : nullptr, nullptr,
+                                        nullptr, tracing ? &bus : nullptr);
   print_report(o, s);
   if (o.verify) {
     const VerifyResult res = verify_collection(pre, *w.heap);
     std::printf("verifier: %s\n", res.summary().c_str());
     if (!res.ok) return 1;
+  }
+  if (tracing) {
+    ChromeTraceOptions topt;
+    topt.signals = &signals;
+    if (!write_chrome_trace(bus, o.trace_json, topt)) {
+      std::fprintf(stderr, "error: failed to write %s\n", o.trace_json.c_str());
+      return 1;
+    }
+    std::printf("wrote timeline (%zu spans, %zu instants, %zu counter "
+                "samples) to %s\n",
+                bus.spans().size(), bus.instants().size(),
+                bus.counters().size(), o.trace_json.c_str());
+  }
+  if (!o.bench_json.empty()) {
+    MetricsRegistry reg;
+    MetricsRegistry::Key key;
+    key.benchmark = o.workload;
+    key.cores = o.sim.coprocessor.num_cores;
+    key.scale = o.scale;
+    key.seed = o.seed;
+    reg.record(key, o.sim, s);
+    if (!reg.write_jsonl(o.bench_json, "gcsim")) {
+      std::fprintf(stderr, "error: failed to write %s\n", o.bench_json.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics record to %s\n", o.bench_json.c_str());
   }
   return 0;
 }

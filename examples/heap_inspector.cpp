@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu signal samples (scan/free/gray/busy) to "
                 "heap_trace.csv\n\n",
                 trace.events().size());
+  } else {
+    std::fprintf(stderr, "error: failed to write heap_trace.csv\n");
+    return 1;
   }
 
   // Walk the compacted space: every object must be black, and the paper's

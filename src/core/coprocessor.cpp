@@ -10,19 +10,41 @@
 #include "mem/header_fifo.hpp"
 #include "mem/memory_system.hpp"
 #include "sim/abort.hpp"
+#include "telemetry/telemetry_bus.hpp"
 
 namespace hwgc {
 
 GcCycleStats Coprocessor::collect(SignalTrace* trace,
                                   ScheduleTrace* schedule_trace,
-                                  FaultInjector* fault) {
+                                  FaultInjector* fault,
+                                  TelemetryBus* telemetry) {
   const std::uint32_t n = cfg_.coprocessor.num_cores;
   if (n == 0) throw std::invalid_argument("coprocessor needs >= 1 core");
 
   SyncBlock sb(n, fault);
   MemorySystem mem(cfg_.memory, n, fault);
   HeaderFifo fifo(cfg_.coprocessor.header_fifo_capacity);
-  GcContext ctx{sb, mem, fifo, heap_, cfg_.coprocessor};
+  GcContext ctx{sb, mem, fifo, heap_, cfg_.coprocessor, telemetry};
+
+  std::uint32_t sig_graywords_series = 0;
+  if (telemetry != nullptr) {
+    if (!telemetry->enabled()) telemetry->enable();
+    telemetry->begin_collection("collection (" + std::to_string(n) +
+                                " cores)");
+    // Intern the main tracks in canonical order so exports list the
+    // coprocessor first, then the cores, then the shared locks —
+    // independent of which module happens to publish first.
+    (void)telemetry->track("coprocessor");
+    for (CoreId id = 0; id < n; ++id) (void)telemetry->core_track(id);
+    (void)telemetry->track(to_string(SbLock::kScan));
+    (void)telemetry->track(to_string(SbLock::kFree));
+    sig_graywords_series = telemetry->counter_series("gray_words");
+    sb.attach_telemetry(telemetry);
+    fifo.attach_telemetry(telemetry);
+    mem.attach_telemetry(telemetry);
+    telemetry->begin_cycle(0);
+    telemetry->phase(GcPhase::kRootEvacuation);
+  }
 
   const Addr tospace_base = heap_.layout().tospace_base();
   sb.set_scan(tospace_base);
@@ -73,7 +95,11 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
 
   bool cores_halted = false;
   Cycle halted_at = 0;
+  bool tel_in_scan_phase = false;
+  std::uint64_t tel_prev_gray = ~0ULL;
+  try {
   while (true) {
+    if (telemetry != nullptr) telemetry->begin_cycle(now);
     if (fault != nullptr) fault->begin_clock(now);
     mem.tick(now);
     if (!cores_halted) {
@@ -100,6 +126,18 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
       }
       cores_halted = all_done();
       if (cores_halted) halted_at = now;
+      if (telemetry != nullptr) {
+        if (!tel_in_scan_phase && sb.barrier_generation() > start_gen) {
+          tel_in_scan_phase = true;
+          telemetry->phase(GcPhase::kParallelScan);
+        }
+        if (cores_halted) telemetry->phase(GcPhase::kDrain);
+        const std::uint64_t gray = sb.free() - sb.scan();
+        if (gray != tel_prev_gray) {
+          tel_prev_gray = gray;
+          telemetry->counter_sample(sig_graywords_series, gray);
+        }
+      }
       // Table I: cycles during which the worklist is empty. Counted over
       // the parallel scan phase (after the start barrier released).
       if (!cores_halted && sb.barrier_generation() > start_gen &&
@@ -160,11 +198,29 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
                             suspect, now);
     }
   }
+  } catch (const CollectionAbort& abort) {
+    // Close the telemetry epoch before propagating so the aborted attempt
+    // still renders as a complete, labeled slice of the timeline.
+    if (telemetry != nullptr) {
+      telemetry->instant(telemetry->track("coprocessor"),
+                         TelemetryCategory::kFault,
+                         std::string("abort [") + to_string(abort.reason()) +
+                             "]: " + abort.what());
+      telemetry->end_collection(now);
+    }
+    throw;
+  }
 
   // "Restart the main processor": publish the compacted heap.
   const Addr free_final = sb.free();
   heap_.flip();
   heap_.set_alloc_ptr(free_final);
+  if (telemetry != nullptr) {
+    telemetry->begin_cycle(now);
+    telemetry->instant(telemetry->track("coprocessor"),
+                       TelemetryCategory::kPhase, "flip");
+    telemetry->end_collection(now);
+  }
 
   stats.total_cycles = now;
   stats.drain_cycles = now - halted_at;

@@ -28,6 +28,7 @@ namespace hwgc {
 
 class ScheduleTrace;
 class FaultInjector;
+class TelemetryBus;
 
 class Coprocessor {
  public:
@@ -60,9 +61,17 @@ class Coprocessor {
   /// `fault`, when non-null, is threaded through to the SyncBlock and the
   /// memory scheduler and consulted for each core's fate every cycle; the
   /// caller (normally RecoveringCollector) must have called begin_attempt.
+  ///
+  /// `telemetry`, when non-null, receives the full typed event stream of
+  /// the cycle (phases, per-core activity spans, lock holds, FIFO and
+  /// memory counters, the flip) as one bus epoch; on a CollectionAbort the
+  /// epoch is closed with an abort instant before the exception propagates.
+  /// Pure observation: simulated cycle counts are identical with and
+  /// without a bus attached.
   GcCycleStats collect(SignalTrace* trace = nullptr,
                        ScheduleTrace* schedule_trace = nullptr,
-                       FaultInjector* fault = nullptr);
+                       FaultInjector* fault = nullptr,
+                       TelemetryBus* telemetry = nullptr);
 
   const SimConfig& config() const noexcept { return cfg_; }
 

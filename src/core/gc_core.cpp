@@ -92,7 +92,7 @@ void GcCore::do_fetch_work() {
       work();
       return;
     }
-    ++counters_.idle_cycles;  // spin; gray objects may still appear
+    idle();  // spin; gray objects may still appear
     return;
   }
   if (!ctx_.sb.try_lock_scan(id_)) {
@@ -103,7 +103,7 @@ void GcCore::do_fetch_work() {
     // Another core fetched the last gray object between our poll and the
     // lock acquisition; back off.
     ctx_.sb.unlock_scan(id_);
-    ++counters_.idle_cycles;
+    idle();
     return;
   }
   frame_addr_ = ctx_.sb.scan();

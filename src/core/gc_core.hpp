@@ -24,6 +24,7 @@
 #include "sim/config.hpp"
 #include "sim/counters.hpp"
 #include "sim/types.hpp"
+#include "telemetry/telemetry_bus.hpp"
 
 namespace hwgc {
 
@@ -34,6 +35,7 @@ struct GcContext {
   HeaderFifo& fifo;
   Heap& heap;
   CoprocessorConfig cfg;
+  TelemetryBus* bus = nullptr;  ///< optional observability sink
 };
 
 class GcCore {
@@ -90,8 +92,23 @@ class GcCore {
     kDone,
   };
 
-  void stall(StallReason r) { counters_.add_stall(r); }
-  void work() { ++counters_.busy_cycles; }
+  // Every clock cycle a stepped core spends lands in exactly one of these
+  // three accountings; each also publishes the cycle's activity to the
+  // telemetry bus (observation only — simulated timing is unaffected).
+  void stall(StallReason r) {
+    counters_.add_stall(r);
+    if (ctx_.bus != nullptr) {
+      ctx_.bus->core_cycle(id_, CoreActivity::kStall, r);
+    }
+  }
+  void work() {
+    ++counters_.busy_cycles;
+    if (ctx_.bus != nullptr) ctx_.bus->core_cycle(id_, CoreActivity::kBusy);
+  }
+  void idle() {
+    ++counters_.idle_cycles;
+    if (ctx_.bus != nullptr) ctx_.bus->core_cycle(id_, CoreActivity::kIdle);
+  }
 
   // State handlers; each models exactly one clock cycle.
   void do_root_init();

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "fault/fault_injector.hpp"
+#include "telemetry/telemetry_bus.hpp"
 
 namespace hwgc {
 
@@ -41,6 +42,7 @@ bool SyncBlock::try_lock_scan(CoreId core) {
   audit(core, "scan");
   scan_owner_ = core;
   scan_acquired_this_cycle_ = true;
+  if (tel_ != nullptr) tel_->lock_acquired(SbLock::kScan, core);
   return true;
 }
 
@@ -48,6 +50,7 @@ void SyncBlock::unlock_scan(CoreId core) {
   assert(scan_owner_ == core && "unlock by non-owner");
   (void)core;
   scan_owner_ = kNoOwner;
+  if (tel_ != nullptr) tel_->lock_released(SbLock::kScan, core);
 }
 
 bool SyncBlock::try_lock_free(CoreId core) {
@@ -64,10 +67,14 @@ bool SyncBlock::try_lock_free(CoreId core) {
     // recovery deconfigures the core.
     free_owner_ = core;
     free_acquired_this_cycle_ = true;
+    // Publish the acquisition: the timeline should show the dead core
+    // holding the free lock for the rest of the attempt.
+    if (tel_ != nullptr) tel_->lock_acquired(SbLock::kFree, core);
     return false;
   }
   free_owner_ = core;
   free_acquired_this_cycle_ = true;
+  if (tel_ != nullptr) tel_->lock_acquired(SbLock::kFree, core);
   return true;
 }
 
@@ -75,6 +82,7 @@ void SyncBlock::unlock_free(CoreId core) {
   assert(free_owner_ == core && "unlock by non-owner");
   (void)core;
   free_owner_ = kNoOwner;
+  if (tel_ != nullptr) tel_->lock_released(SbLock::kFree, core);
 }
 
 bool SyncBlock::try_lock_header(CoreId core, Addr addr) {

@@ -35,12 +35,18 @@
 namespace hwgc {
 
 class FaultInjector;
+class TelemetryBus;
+enum class SbLock : std::uint8_t;
 
 class SyncBlock {
  public:
   /// `fault`, when non-null, can suppress scan/free lock grants (spurious
   /// arbitration failure) and force busy bits to read stuck-at-1.
   explicit SyncBlock(std::uint32_t num_cores, FaultInjector* fault = nullptr);
+
+  /// Publishes scan-/free-lock hold spans to the bus (observability only;
+  /// never affects arbitration).
+  void attach_telemetry(TelemetryBus* bus) noexcept { tel_ = bus; }
 
   std::uint32_t num_cores() const noexcept {
     return static_cast<std::uint32_t>(busy_.size());
@@ -180,6 +186,7 @@ class SyncBlock {
   static constexpr CoreId kNoOwner = ~CoreId{0};
 
   FaultInjector* fault_ = nullptr;
+  TelemetryBus* tel_ = nullptr;
   Addr scan_ = 0;
   Addr free_ = 0;
   Addr alloc_top_ = ~Addr{0};

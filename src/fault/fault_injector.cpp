@@ -1,6 +1,7 @@
 #include "fault/fault_injector.hpp"
 
 #include "heap/word_memory.hpp"
+#include "telemetry/telemetry_bus.hpp"
 
 namespace hwgc {
 
@@ -39,6 +40,10 @@ void FaultInjector::fire(std::size_t i) {
                             plan_.events[i].summary();
   log_.push_back(entry);
   if (trace_ != nullptr) trace_->note(now_, "fault: " + entry);
+  if (tel_ != nullptr) {
+    tel_->instant(tel_->track("faults"), TelemetryCategory::kFault,
+                  plan_.events[i].summary());
+  }
 }
 
 MemFaultAction FaultInjector::on_mem_accept(CoreId logical, Port port,

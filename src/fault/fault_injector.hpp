@@ -29,6 +29,7 @@
 namespace hwgc {
 
 class WordMemory;
+class TelemetryBus;
 
 /// What the memory scheduler must do with an accepted transaction.
 struct MemFaultAction {
@@ -52,6 +53,10 @@ class FaultInjector {
 
   /// Optional trace: every fired event is note()d with its clock cycle.
   void attach_trace(SignalTrace* trace) noexcept { trace_ = trace; }
+
+  /// Optional bus: every fired event becomes an instant on its "faults"
+  /// track, so injections line up with the stalls they cause.
+  void attach_telemetry(TelemetryBus* bus) noexcept { tel_ = bus; }
 
   /// Starts an attempt: logical core i of this attempt is physical core
   /// active_physical[i]. Re-arms persistent events; resets per-attempt
@@ -112,6 +117,7 @@ class FaultInjector {
   std::vector<CoreId> logical_to_physical_;
   WordMemory* mem_ = nullptr;
   SignalTrace* trace_ = nullptr;
+  TelemetryBus* tel_ = nullptr;
   Cycle now_ = 0;
   std::uint32_t attempt_ = 0;
   std::uint64_t fired_total_ = 0;

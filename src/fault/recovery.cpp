@@ -5,6 +5,7 @@
 
 #include "baselines/sequential_cheney.hpp"
 #include "core/coprocessor.hpp"
+#include "telemetry/telemetry_bus.hpp"
 
 namespace hwgc {
 
@@ -66,10 +67,18 @@ Cycle RecoveringCollector::watchdog_budget(Word live_words) const noexcept {
   return r.watchdog_base + r.watchdog_per_live_word * live_words;
 }
 
-RecoveryReport RecoveringCollector::collect(SignalTrace* trace) {
+RecoveryReport RecoveringCollector::collect(SignalTrace* trace,
+                                            TelemetryBus* telemetry) {
   RecoveryReport report;
   report.faults_injected = injector_.plan().size();
   injector_.attach_trace(trace);
+  injector_.attach_telemetry(telemetry);
+  const auto recovery_note = [&](std::string text) {
+    if (telemetry != nullptr) {
+      telemetry->instant(telemetry->track("recovery"),
+                         TelemetryCategory::kRecovery, std::move(text));
+    }
+  };
 
   if (cfg_.recovery.header_ecc) heap_.memory().enable_ecc();
 
@@ -98,7 +107,7 @@ RecoveryReport RecoveringCollector::collect(SignalTrace* trace) {
     Coprocessor coproc(attempt_cfg, heap_);
     bool aborted = false;
     try {
-      report.stats = coproc.collect(trace, nullptr, &injector_);
+      report.stats = coproc.collect(trace, nullptr, &injector_, telemetry);
       rec.cycles = report.stats.total_cycles;
       if (cfg_.recovery.verify_heap) {
         const VerifyResult vr = verify_collection(pre, heap_);
@@ -136,6 +145,9 @@ RecoveryReport RecoveringCollector::collect(SignalTrace* trace) {
                                   std::string(to_string(rec.abort_reason)) +
                                   "), restoring pre-cycle image");
     }
+    recovery_note("attempt " + std::to_string(rec.attempt) + " aborted (" +
+                  std::string(to_string(rec.abort_reason)) +
+                  "), restoring pre-cycle image");
     image.restore(heap_);
     ++failures_this_config;
 
@@ -154,6 +166,9 @@ RecoveryReport RecoveringCollector::collect(SignalTrace* trace) {
                         std::to_string(rec.suspect_physical) + ", " +
                         std::to_string(active.size()) + " core(s) remain");
       }
+      recovery_note("deconfigured physical core " +
+                    std::to_string(rec.suspect_physical) + ", " +
+                    std::to_string(active.size()) + " core(s) remain");
       continue;
     }
     coprocessor_usable = false;
@@ -167,6 +182,7 @@ RecoveryReport RecoveringCollector::collect(SignalTrace* trace) {
     if (trace != nullptr) {
       trace->note(0, "recovery: falling back to sequential software GC");
     }
+    recovery_note("falling back to sequential software GC");
     AttemptRecord rec;
     rec.attempt = attempt;
     rec.num_cores = 0;  // runs on the main processor, not the coprocessor

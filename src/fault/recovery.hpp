@@ -89,7 +89,12 @@ class RecoveringCollector {
   /// would have. Never lets a detectably corrupt heap reach the mutator:
   /// if every escalation level fails, `ok` is false and the heap holds the
   /// restored pre-cycle image.
-  RecoveryReport collect(SignalTrace* trace = nullptr);
+  ///
+  /// `telemetry`, when non-null, records every attempt as its own epoch
+  /// plus recovery-track instants for image restores, core deconfigurations
+  /// and the sequential fallback.
+  RecoveryReport collect(SignalTrace* trace = nullptr,
+                         TelemetryBus* telemetry = nullptr);
 
   const FaultInjector& injector() const noexcept { return injector_; }
 

@@ -188,7 +188,7 @@ void cross_compare_images(const HeapSnapshot& pre, const Heap& a,
 
 }  // namespace
 
-FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
+FuzzVerdict run_fuzz_case(const FuzzCase& fc, TelemetryBus* telemetry) {
   FuzzVerdict v;
   const GraphPlan plan = make_fuzz_plan(fc.graph_seed, fc.graph);
   Workload hw = materialize(plan);
@@ -210,7 +210,7 @@ FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
     // injected fault must never corrupt silently.
     v.fault_run = true;
     RecoveringCollector collector(fc.sim_config(), *hw.heap);
-    v.recovery = collector.collect();
+    v.recovery = collector.collect(nullptr, telemetry);
     v.coproc = v.recovery.stats;
     if (!v.recovery.ok) {
       v.fail("recovery failed: " + v.recovery.summary());
@@ -235,7 +235,7 @@ FuzzVerdict run_fuzz_case(const FuzzCase& fc) {
   } else {
     Coprocessor coproc(fc.sim_config(), *hw.heap);
     try {
-      v.coproc = coproc.collect(nullptr, &sched);
+      v.coproc = coproc.collect(nullptr, &sched, nullptr, telemetry);
     } catch (const std::exception& e) {
       v.fail(std::string("coprocessor threw: ") + e.what());
       v.schedule_tail = sched.dump();

@@ -78,8 +78,10 @@ struct FuzzVerdict {
   std::string summary() const;
 };
 
-/// Runs one case through the differential oracle.
-FuzzVerdict run_fuzz_case(const FuzzCase& fc);
+/// Runs one case through the differential oracle. `telemetry`, when
+/// non-null, records the coprocessor (or recovery) run of the case — handy
+/// for exporting the timeline of a failing schedule.
+FuzzVerdict run_fuzz_case(const FuzzCase& fc, TelemetryBus* telemetry = nullptr);
 
 /// Expands a single master seed into a full case: graph seed, schedule
 /// policy and seed, core count, FIFO capacity, latency jitter and the

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "fault/fault_injector.hpp"
+#include "telemetry/telemetry_bus.hpp"
 
 namespace hwgc {
 
@@ -14,6 +15,11 @@ MemorySystem::MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores,
       jitter_rng_(cfg.jitter_seed) {
   if (cfg_.max_outstanding == 0) cfg_.max_outstanding = 4 * num_cores;
   cache_tags_.assign(cfg_.header_cache_entries, kNullPtr);
+}
+
+void MemorySystem::attach_telemetry(TelemetryBus* bus) {
+  tel_ = bus;
+  if (bus != nullptr) tel_inflight_series_ = bus->counter_series("mem_inflight");
 }
 
 bool MemorySystem::header_cache_lookup_and_fill(Addr addr) {
@@ -143,6 +149,16 @@ void MemorySystem::tick(Cycle now) {
     }
     it = queue_.erase(it);
     ++accepted;
+  }
+
+  if (tel_ != nullptr) {
+    const std::uint64_t inflight_now = inflight_header_.size() +
+                                       inflight_header_fast_.size() +
+                                       inflight_body_.size();
+    if (inflight_now != tel_prev_inflight_) {
+      tel_prev_inflight_ = inflight_now;
+      tel_->counter_sample(tel_inflight_series_, inflight_now);
+    }
   }
 }
 

@@ -40,6 +40,7 @@
 namespace hwgc {
 
 class FaultInjector;
+class TelemetryBus;
 
 class MemorySystem {
  public:
@@ -54,6 +55,10 @@ class MemorySystem {
   /// schedule a ghost duplicate of a store.
   MemorySystem(const MemoryConfig& cfg, std::uint32_t num_cores,
                FaultInjector* fault = nullptr);
+
+  /// Publishes the in-flight transaction count (sampled on change each
+  /// tick) to the bus. Observability only; timing is unaffected.
+  void attach_telemetry(TelemetryBus* bus);
 
   // --- Core-side buffer interface ---------------------------------------
 
@@ -140,6 +145,9 @@ class MemorySystem {
 
   MemoryConfig cfg_;
   FaultInjector* fault_ = nullptr;
+  TelemetryBus* tel_ = nullptr;
+  std::uint32_t tel_inflight_series_ = 0;
+  std::uint64_t tel_prev_inflight_ = ~std::uint64_t{0};
   std::vector<PortBuffer> buffers_;  // num_cores x kPortCount
   std::deque<Request> queue_;        // issued, not yet accepted
   // Accepted requests of one latency class complete in acceptance order

@@ -81,7 +81,7 @@ const GcCycleStats& Runtime::collect() {
   // consistent; the coprocessor flips the heap and republishes it.
   if (cfg_.fault.enabled() || cfg_.recovery.enabled) {
     RecoveringCollector collector(cfg_, heap_);
-    RecoveryReport report = collector.collect();
+    RecoveryReport report = collector.collect(nullptr, telemetry_);
     if (!report.ok) {
       recovery_history_.push_back(std::move(report));
       throw std::runtime_error(
@@ -92,7 +92,7 @@ const GcCycleStats& Runtime::collect() {
     recovery_history_.push_back(std::move(report));
   } else {
     Coprocessor coproc(cfg_, heap_);
-    history_.push_back(coproc.collect());
+    history_.push_back(coproc.collect(nullptr, nullptr, nullptr, telemetry_));
   }
   // Section V-E: "the main processor is only restarted after all updates
   // are written back to the memory". A cycle whose store buffers had not

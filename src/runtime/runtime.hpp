@@ -77,6 +77,12 @@ class Runtime {
   /// coprocessor; per-cycle reports accumulate in recovery_history().
   const GcCycleStats& collect();
 
+  /// Attaches an observability bus: every subsequent collection (explicit
+  /// or allocation-triggered) publishes its full event stream there, each
+  /// as its own epoch on one continuous timeline. Pass nullptr to detach.
+  void set_telemetry(TelemetryBus* bus) noexcept { telemetry_ = bus; }
+  TelemetryBus* telemetry() const noexcept { return telemetry_; }
+
   /// Current heap address of a rooted reference. Only stable until the
   /// next collection — exposed for tests and debugging tools (e.g. the
   /// shadow-mutator validation and the heap inspector example).
@@ -115,6 +121,7 @@ class Runtime {
   std::vector<GcCycleStats> history_;
   std::vector<RecoveryReport> recovery_history_;
   std::uint64_t drain_violations_ = 0;
+  TelemetryBus* telemetry_ = nullptr;
 };
 
 }  // namespace hwgc

@@ -71,9 +71,16 @@ struct CoreCounters {
   Cycle stall(StallReason r) const noexcept {
     return stalls[static_cast<std::size_t>(r)];
   }
+  /// Saturating sum: a counter driven near the Cycle ceiling (hardware
+  /// counters latch at all-ones) must not wrap the total back to a small
+  /// number — a wrapped total would fool the watchdog's activity monitor
+  /// into seeing "progress".
   Cycle total_stalls() const noexcept {
     Cycle sum = 0;
-    for (auto s : stalls) sum += s;
+    for (auto s : stalls) {
+      if (s > ~Cycle{0} - sum) return ~Cycle{0};
+      sum += s;
+    }
     return sum;
   }
 };
@@ -109,12 +116,16 @@ struct GcCycleStats {
   /// Lock-order audit findings; must be empty (DESIGN.md invariant 6).
   std::vector<std::string> lock_order_violations;
 
-  /// Fraction of cycles with an empty worklist — Table I.
+  /// Fraction of cycles with an empty worklist — Table I. Clamped to
+  /// [0, 1]: the empty-cycle counter is only incremented during the scan
+  /// phase, but an aborted or hand-assembled stats object could hold
+  /// inconsistent counters and a fraction > 1 would corrupt downstream
+  /// aggregation (JSONL schema validation rejects it).
   double worklist_empty_fraction() const noexcept {
-    return total_cycles == 0
-               ? 0.0
-               : static_cast<double>(worklist_empty_cycles) /
-                     static_cast<double>(total_cycles);
+    if (total_cycles == 0) return 0.0;
+    if (worklist_empty_cycles >= total_cycles) return 1.0;
+    return static_cast<double>(worklist_empty_cycles) /
+           static_cast<double>(total_cycles);
   }
 
   /// Mean per-core stall count for one reason — Table II columns.

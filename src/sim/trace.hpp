@@ -74,18 +74,38 @@ class SignalTrace {
     return notes_;
   }
 
-  /// Dumps the trace as CSV (cycle,signal,value). Returns false on I/O
-  /// failure.
+  /// Dumps the trace as CSV (cycle,signal,value,note). Signal samples
+  /// leave the note column empty; notes become their own rows with signal
+  /// `note` and an empty value, merged into the sample stream by cycle so
+  /// fault/recovery annotations land next to the samples they explain.
+  /// Returns false on I/O failure (checked after an explicit flush).
   bool write_csv(const std::string& path) const {
     std::ofstream out(path);
     if (!out) return false;
-    out << "cycle,signal,value\n";
-    for (const auto& e : events_) {
-      const auto& name = e.signal < names_.size()
-                             ? names_[e.signal]
-                             : std::string("sig") + std::to_string(e.signal);
-      out << e.cycle << ',' << name << ',' << e.value << '\n';
+    out << "cycle,signal,value,note\n";
+    auto ev = events_.begin();
+    auto nt = notes_.begin();
+    const auto put_event = [&] {
+      const auto& name = ev->signal < names_.size()
+                             ? names_[ev->signal]
+                             : std::string("sig") + std::to_string(ev->signal);
+      out << ev->cycle << ',' << name << ',' << ev->value << ",\n";
+      ++ev;
+    };
+    const auto put_note = [&] {
+      out << nt->first << ",note,," << csv_quote(nt->second) << '\n';
+      ++nt;
+    };
+    while (ev != events_.end() && nt != notes_.end()) {
+      if (nt->first < ev->cycle) {
+        put_note();
+      } else {
+        put_event();
+      }
     }
+    while (ev != events_.end()) put_event();
+    while (nt != notes_.end()) put_note();
+    out.flush();
     return static_cast<bool>(out);
   }
 
@@ -102,7 +122,20 @@ class SignalTrace {
     }
     out << "$upscope $end\n$enddefinitions $end\n";
     Cycle current = ~Cycle{0};
+    auto nt = notes_.begin();
+    const auto emit_notes_up_to = [&](Cycle cycle) {
+      // Notes ride along as $comment events at their cycle's timestamp —
+      // the only annotation mechanism VCD viewers tolerate mid-dump.
+      for (; nt != notes_.end() && nt->first <= cycle; ++nt) {
+        if (nt->first != current) {
+          current = nt->first;
+          out << '#' << current << '\n';
+        }
+        out << "$comment " << vcd_sanitize(nt->second) << " $end\n";
+      }
+    };
     for (const auto& e : events_) {
+      emit_notes_up_to(e.cycle);
       if (e.cycle != current) {
         current = e.cycle;
         out << '#' << current << '\n';
@@ -113,10 +146,37 @@ class SignalTrace {
       }
       out << ' ' << vcd_id(e.signal) << '\n';
     }
+    emit_notes_up_to(~Cycle{0});
+    out.flush();
     return static_cast<bool>(out);
   }
 
  private:
+  /// RFC-4180 quoting: the field is wrapped in double quotes and internal
+  /// quotes are doubled, so notes with commas/newlines stay one field.
+  static std::string csv_quote(const std::string& text) {
+    std::string q;
+    q.reserve(text.size() + 2);
+    q.push_back('"');
+    for (char c : text) {
+      if (c == '"') q.push_back('"');
+      q.push_back(c);
+    }
+    q.push_back('"');
+    return q;
+  }
+
+  /// A literal "$end" inside a comment would terminate the $comment block
+  /// early and desynchronize the parser; break the token.
+  static std::string vcd_sanitize(const std::string& text) {
+    std::string s = text;
+    for (std::size_t pos = 0; (pos = s.find("$end", pos)) != std::string::npos;
+         pos += 5) {
+      s.insert(pos + 1, " ");
+    }
+    return s;
+  }
+
   /// Short printable VCD identifier for a signal index.
   static std::string vcd_id(std::size_t i) {
     std::string id;

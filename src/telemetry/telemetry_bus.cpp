@@ -1,0 +1,193 @@
+#include "telemetry/telemetry_bus.hpp"
+
+#include <utility>
+
+namespace hwgc {
+
+#ifdef HWGC_NO_TELEMETRY
+// Publishing compiled out: only the interning / bookkeeping entry points
+// keep real bodies so exporters still link.
+void TelemetryBus::begin_collection(std::string) {}
+void TelemetryBus::end_collection(Cycle) {}
+void TelemetryBus::core_cycle(CoreId, CoreActivity, StallReason) {}
+void TelemetryBus::phase(GcPhase) {}
+void TelemetryBus::lock_acquired(SbLock, CoreId) {}
+void TelemetryBus::lock_released(SbLock, CoreId) {}
+void TelemetryBus::instant(std::uint32_t, TelemetryCategory, std::string) {}
+void TelemetryBus::counter_sample(std::uint32_t, std::uint64_t) {}
+#else
+
+void TelemetryBus::begin_collection(std::string label) {
+  if (!enabled_) return;
+  epoch_ = cursor_;
+  now_ = epoch_;
+  TelemetryEpoch e;
+  e.begin = epoch_;
+  e.end = epoch_;
+  e.label = std::move(label);
+  epochs_.push_back(std::move(e));
+}
+
+void TelemetryBus::end_collection(Cycle local_end) {
+  if (!enabled_) return;
+  const Cycle global_end = epoch_ + local_end;
+  for (CoreId c = 0; c < open_cores_.size(); ++c) close_core_span(c);
+  close_lock_span(SbLock::kScan);
+  close_lock_span(SbLock::kFree);
+  close_phase_span(global_end);
+  if (!epochs_.empty()) epochs_.back().end = global_end;
+  // One idle cycle of daylight between collections keeps adjacent epochs
+  // visually separable in the exported timeline.
+  cursor_ = global_end + 1;
+  now_ = cursor_;
+}
+
+void TelemetryBus::core_cycle(CoreId core, CoreActivity activity,
+                              StallReason reason) {
+  if (!enabled_) return;
+  if (core >= open_cores_.size()) open_cores_.resize(core + 1);
+  OpenCoreSpan& st = open_cores_[core];
+  if (st.open && st.activity == activity && st.reason == reason &&
+      now_ == st.last + 1) {
+    st.last = now_;
+    return;
+  }
+  close_core_span(core);
+  st.open = true;
+  st.activity = activity;
+  st.reason = reason;
+  st.begin = now_;
+  st.last = now_;
+}
+
+void TelemetryBus::phase(GcPhase p) {
+  if (!enabled_) return;
+  close_phase_span(now_);
+  open_phase_.open = true;
+  open_phase_.phase = p;
+  open_phase_.begin = now_;
+}
+
+void TelemetryBus::lock_acquired(SbLock lock, CoreId core) {
+  if (!enabled_) return;
+  OpenLockSpan& st = open_locks_[static_cast<std::size_t>(lock)];
+  if (st.open) close_lock_span(lock);  // same-cycle hand-off
+  st.open = true;
+  st.owner = core;
+  st.begin = now_;
+}
+
+void TelemetryBus::lock_released(SbLock lock, CoreId core) {
+  if (!enabled_) return;
+  OpenLockSpan& st = open_locks_[static_cast<std::size_t>(lock)];
+  if (st.open && st.owner == core) close_lock_span(lock);
+}
+
+void TelemetryBus::instant(std::uint32_t track_id, TelemetryCategory cat,
+                           std::string name) {
+  if (!enabled_ || !room()) return;
+  TelemetryInstant e;
+  e.track = track_id;
+  e.at = now_;
+  e.cat = cat;
+  e.name = std::move(name);
+  instants_.push_back(std::move(e));
+}
+
+void TelemetryBus::counter_sample(std::uint32_t series, std::uint64_t value) {
+  if (!enabled_ || !room()) return;
+  counters_.push_back(TelemetryCounter{series, now_, value});
+}
+
+#endif  // HWGC_NO_TELEMETRY
+
+std::uint32_t TelemetryBus::track(const std::string& name) {
+  for (std::uint32_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) return i;
+  }
+  track_names_.push_back(name);
+  return static_cast<std::uint32_t>(track_names_.size() - 1);
+}
+
+std::uint32_t TelemetryBus::counter_series(const std::string& name) {
+  for (std::uint32_t i = 0; i < counter_names_.size(); ++i) {
+    if (counter_names_[i] == name) return i;
+  }
+  counter_names_.push_back(name);
+  return static_cast<std::uint32_t>(counter_names_.size() - 1);
+}
+
+std::uint32_t TelemetryBus::core_track(CoreId core) {
+  if (core >= core_tracks_.size()) core_tracks_.resize(core + 1, 0);
+  if (core_tracks_[core] == 0) {
+    core_tracks_[core] = track("core " + std::to_string(core)) + 1;
+  }
+  return core_tracks_[core] - 1;
+}
+
+void TelemetryBus::clear() {
+  spans_.clear();
+  instants_.clear();
+  counters_.clear();
+  epochs_.clear();
+  track_names_.clear();
+  counter_names_.clear();
+  core_tracks_.clear();
+  open_cores_.clear();
+  open_locks_[0] = OpenLockSpan{};
+  open_locks_[1] = OpenLockSpan{};
+  open_phase_ = OpenPhaseSpan{};
+  phase_track_ = 0;
+  epoch_ = cursor_ = now_ = 0;
+  dropped_ = 0;
+}
+
+void TelemetryBus::push_span(std::uint32_t track_id, Cycle begin, Cycle end,
+                             TelemetryCategory cat, std::string name) {
+  if (!room()) return;
+  TelemetrySpan s;
+  s.track = track_id;
+  s.begin = begin;
+  s.end = end;
+  s.cat = cat;
+  s.name = std::move(name);
+  spans_.push_back(std::move(s));
+}
+
+void TelemetryBus::close_core_span(CoreId core) {
+  if (core >= open_cores_.size()) return;
+  OpenCoreSpan& st = open_cores_[core];
+  if (!st.open) return;
+  st.open = false;
+  push_span(core_track(core), st.begin, st.last + 1, TelemetryCategory::kCore,
+            activity_name(st.activity, st.reason));
+}
+
+void TelemetryBus::close_lock_span(SbLock lock) {
+  OpenLockSpan& st = open_locks_[static_cast<std::size_t>(lock)];
+  if (!st.open) return;
+  st.open = false;
+  // A hold acquired and released within one cycle still spans that cycle.
+  push_span(track(to_string(lock)), st.begin, now_ + 1,
+            TelemetryCategory::kLock,
+            "held by core " + std::to_string(st.owner));
+}
+
+void TelemetryBus::close_phase_span(Cycle end) {
+  if (!open_phase_.open) return;
+  open_phase_.open = false;
+  if (phase_track_ == 0) phase_track_ = track("coprocessor") + 1;
+  push_span(phase_track_ - 1, open_phase_.begin, end, TelemetryCategory::kPhase,
+            to_string(open_phase_.phase));
+}
+
+std::string TelemetryBus::activity_name(CoreActivity a, StallReason r) {
+  switch (a) {
+    case CoreActivity::kBusy: return "busy";
+    case CoreActivity::kIdle: return "idle";
+    case CoreActivity::kStall: return "stall:" + std::string(to_string(r));
+  }
+  return "?";
+}
+
+}  // namespace hwgc

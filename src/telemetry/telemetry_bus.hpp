@@ -1,0 +1,265 @@
+// TelemetryBus — the unified observability substrate (software counterpart
+// of the prototype's Section VI-A monitoring framework, generalized).
+//
+// Every hardware module publishes *typed* events into one bus:
+//   * the Coprocessor publishes collection phases (root evacuation /
+//     parallel scan / store drain) and the flip,
+//   * each GcCore publishes its per-cycle activity (busy / idle / stalled
+//     with a StallReason), which the bus coalesces into spans,
+//   * the SyncBlock publishes scan- and free-lock hold spans,
+//   * the HeaderFifo publishes occupancy and overflow events,
+//   * the MemorySystem publishes its in-flight transaction count,
+//   * the fault/recovery layer publishes injected faults, aborts,
+//     deconfigurations and fallbacks as instant events.
+//
+// Exporters (trace_export.hpp) turn the recorded events into a
+// Chrome-trace/Perfetto timeline; the MetricsRegistry (metrics.hpp)
+// aggregates the per-cycle statistics across collections and runs.
+//
+// Overhead contract: the bus is pure observation — it never feeds back
+// into simulated timing, so cycle counts are bit-identical with and
+// without it (tested in tests/test_telemetry.cpp). Publishing is guarded
+// by an `enabled()` flag; with HWGC_NO_TELEMETRY defined every publish
+// method additionally compiles to an empty inline body.
+//
+// Time base: each collection runs its own clock from cycle 0. The bus maps
+// collection-local cycles onto one monotone global timeline: a
+// begin_collection() epoch starts where the previous collection ended, so
+// multi-collection runs (Runtime churn, recovery retries) render as one
+// continuous trace with every attempt visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+/// Collection phases published by the coprocessor clock loop.
+enum class GcPhase : std::uint8_t { kRootEvacuation, kParallelScan, kDrain };
+
+constexpr const char* to_string(GcPhase p) noexcept {
+  switch (p) {
+    case GcPhase::kRootEvacuation: return "root-evacuation";
+    case GcPhase::kParallelScan: return "parallel-scan";
+    case GcPhase::kDrain: return "drain";
+  }
+  return "?";
+}
+
+/// What a core did during one clock cycle (kStall carries a StallReason).
+enum class CoreActivity : std::uint8_t { kBusy, kIdle, kStall };
+
+/// The two SB registers whose hold spans are traced.
+enum class SbLock : std::uint8_t { kScan = 0, kFree = 1 };
+
+constexpr const char* to_string(SbLock l) noexcept {
+  return l == SbLock::kScan ? "scan-lock" : "free-lock";
+}
+
+/// Event category, carried into the exported trace's `cat` field.
+enum class TelemetryCategory : std::uint8_t {
+  kPhase,
+  kCore,
+  kLock,
+  kFifo,
+  kMemory,
+  kFault,
+  kRecovery,
+  kRuntime,
+};
+
+constexpr const char* to_string(TelemetryCategory c) noexcept {
+  switch (c) {
+    case TelemetryCategory::kPhase: return "phase";
+    case TelemetryCategory::kCore: return "core";
+    case TelemetryCategory::kLock: return "lock";
+    case TelemetryCategory::kFifo: return "fifo";
+    case TelemetryCategory::kMemory: return "memory";
+    case TelemetryCategory::kFault: return "fault";
+    case TelemetryCategory::kRecovery: return "recovery";
+    case TelemetryCategory::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+/// A duration event on one track, global cycles, half-open [begin, end).
+struct TelemetrySpan {
+  std::uint32_t track = 0;
+  Cycle begin = 0;
+  Cycle end = 0;
+  TelemetryCategory cat = TelemetryCategory::kCore;
+  std::string name;
+};
+
+/// A point event on one track.
+struct TelemetryInstant {
+  std::uint32_t track = 0;
+  Cycle at = 0;
+  TelemetryCategory cat = TelemetryCategory::kFault;
+  std::string name;
+};
+
+/// A sample of a named counter series.
+struct TelemetryCounter {
+  std::uint32_t series = 0;
+  Cycle at = 0;
+  std::uint64_t value = 0;
+};
+
+/// One collection recorded on the bus (for labeling the timeline).
+struct TelemetryEpoch {
+  Cycle begin = 0;   ///< global cycle the collection's cycle 0 maps to
+  Cycle end = 0;     ///< global cycle of the collection's last cycle + 1
+  std::string label;
+};
+
+class TelemetryBus {
+ public:
+  TelemetryBus() = default;
+
+  void enable(std::size_t max_events = std::size_t{1} << 20) {
+    enabled_ = true;
+    max_events_ = max_events;
+  }
+  void disable() noexcept { enabled_ = false; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// True when the library was built with telemetry publishing compiled in
+  /// (i.e. without HWGC_NO_TELEMETRY).
+  static constexpr bool compiled_in() noexcept {
+#ifdef HWGC_NO_TELEMETRY
+    return false;
+#else
+    return true;
+#endif
+  }
+
+  // --- time base ----------------------------------------------------------
+
+  /// Opens a new collection epoch: the collection's local cycle 0 maps to
+  /// the first free global cycle. Safe to call repeatedly (recovery runs
+  /// one epoch per attempt).
+  void begin_collection(std::string label);
+
+  /// Clock edge: stamps all events published during this simulated cycle.
+  void begin_cycle(Cycle local) noexcept { now_ = epoch_ + local; }
+
+  /// Closes the epoch at local cycle `local_end`: flushes every open core,
+  /// lock and phase span and advances the global cursor.
+  void end_collection(Cycle local_end);
+
+  /// Global cycle the next published event will be stamped with.
+  Cycle now() const noexcept { return now_; }
+
+  // --- track / counter-series interning ------------------------------------
+
+  std::uint32_t track(const std::string& name);
+  std::uint32_t counter_series(const std::string& name);
+  std::uint32_t core_track(CoreId core);
+
+  const std::vector<std::string>& track_names() const noexcept {
+    return track_names_;
+  }
+  const std::vector<std::string>& counter_names() const noexcept {
+    return counter_names_;
+  }
+
+  // --- publishers (all no-ops when disabled) -------------------------------
+
+  /// Per-core per-cycle activity; consecutive same-state cycles coalesce
+  /// into one span. A clock gap (a fail-stopped core missing its clock)
+  /// closes the open span, so holes are visible in the timeline.
+  void core_cycle(CoreId core, CoreActivity activity,
+                  StallReason reason = StallReason::kNone);
+
+  /// Phase transition at the current cycle; closes the previous phase.
+  void phase(GcPhase p);
+
+  void lock_acquired(SbLock lock, CoreId core);
+  void lock_released(SbLock lock, CoreId core);
+
+  void instant(std::uint32_t track_id, TelemetryCategory cat,
+               std::string name);
+  void counter_sample(std::uint32_t series, std::uint64_t value);
+
+  // --- recorded data (exporter interface) ----------------------------------
+
+  const std::vector<TelemetrySpan>& spans() const noexcept { return spans_; }
+  const std::vector<TelemetryInstant>& instants() const noexcept {
+    return instants_;
+  }
+  const std::vector<TelemetryCounter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::vector<TelemetryEpoch>& epochs() const noexcept {
+    return epochs_;
+  }
+
+  /// Events discarded after the max_events cap was hit (never silently:
+  /// exporters surface this number).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear();
+
+ private:
+  struct OpenCoreSpan {
+    bool open = false;
+    CoreActivity activity = CoreActivity::kBusy;
+    StallReason reason = StallReason::kNone;
+    Cycle begin = 0;
+    Cycle last = 0;
+  };
+  struct OpenLockSpan {
+    bool open = false;
+    CoreId owner = kNoCore;
+    Cycle begin = 0;
+  };
+  struct OpenPhaseSpan {
+    bool open = false;
+    GcPhase phase = GcPhase::kRootEvacuation;
+    Cycle begin = 0;
+  };
+
+  bool room() noexcept {
+    if (spans_.size() + instants_.size() + counters_.size() < max_events_) {
+      return true;
+    }
+    ++dropped_;
+    return false;
+  }
+
+  void push_span(std::uint32_t track_id, Cycle begin, Cycle end,
+                 TelemetryCategory cat, std::string name);
+  void close_core_span(CoreId core);
+  void close_lock_span(SbLock lock);
+  void close_phase_span(Cycle end);
+
+  static std::string activity_name(CoreActivity a, StallReason r);
+
+  bool enabled_ = false;
+  std::size_t max_events_ = std::size_t{1} << 20;
+  Cycle epoch_ = 0;   ///< global cycle local 0 of the current epoch maps to
+  Cycle cursor_ = 0;  ///< first free global cycle after everything recorded
+  Cycle now_ = 0;
+
+  std::vector<std::string> track_names_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::uint32_t> core_tracks_;  ///< core id -> track id (+1; 0 = none)
+
+  std::vector<TelemetrySpan> spans_;
+  std::vector<TelemetryInstant> instants_;
+  std::vector<TelemetryCounter> counters_;
+  std::vector<TelemetryEpoch> epochs_;
+  std::uint64_t dropped_ = 0;
+
+  std::vector<OpenCoreSpan> open_cores_;
+  OpenLockSpan open_locks_[2];
+  OpenPhaseSpan open_phase_;
+  std::uint32_t phase_track_ = 0;  ///< +1; 0 = not yet interned
+};
+
+}  // namespace hwgc

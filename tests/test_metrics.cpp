@@ -106,6 +106,41 @@ TEST(Metrics, UncontendedLocksCostNothing) {
   EXPECT_EQ(s.per_core[0].stall(StallReason::kHeaderLock), 0u);
 }
 
+TEST(Metrics, EmptyStatsProduceFiniteDerivedValues) {
+  // A default (or aborted) stats object must not divide by zero: both
+  // derived quantities feed the JSONL schema, which rejects NaN/inf.
+  const GcCycleStats s;
+  EXPECT_EQ(s.worklist_empty_fraction(), 0.0);
+  EXPECT_EQ(s.mean_stall(StallReason::kScanLock), 0.0);
+}
+
+TEST(Metrics, WorklistEmptyFractionClampsInconsistentCounters) {
+  GcCycleStats s;
+  s.total_cycles = 10;
+  s.worklist_empty_cycles = 25;  // inconsistent (e.g. aborted mid-update)
+  EXPECT_EQ(s.worklist_empty_fraction(), 1.0);
+  s.worklist_empty_cycles = 10;  // boundary: every cycle empty
+  EXPECT_EQ(s.worklist_empty_fraction(), 1.0);
+  s.worklist_empty_cycles = 5;
+  EXPECT_EQ(s.worklist_empty_fraction(), 0.5);
+}
+
+TEST(Metrics, TotalStallsSaturatesInsteadOfWrapping) {
+  // Hardware counters latch at all-ones; the software sum must do the
+  // same — a wrapped total would fake "progress" to the watchdog's
+  // activity monitor.
+  CoreCounters c;
+  c.stalls[static_cast<std::size_t>(StallReason::kScanLock)] = ~Cycle{0} - 10;
+  c.stalls[static_cast<std::size_t>(StallReason::kBodyLoad)] = 100;
+  EXPECT_EQ(c.total_stalls(), ~Cycle{0});
+  // Exactly at the ceiling is still representable.
+  c.stalls[static_cast<std::size_t>(StallReason::kBodyLoad)] = 10;
+  EXPECT_EQ(c.total_stalls(), ~Cycle{0});
+  // Comfortably below it, the sum is exact.
+  c.stalls[static_cast<std::size_t>(StallReason::kScanLock)] = 7;
+  EXPECT_EQ(c.total_stalls(), 17u);
+}
+
 TEST(Metrics, StoreStallsAreNegligible) {
   // Table II: store stalls are ~0 everywhere (stores retire on
   // acceptance).

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <vector>
 #include <fstream>
 
 #include "core/coprocessor.hpp"
@@ -54,9 +55,52 @@ TEST(SignalTrace, WritesCsv) {
   std::ifstream in(path);
   std::string line;
   std::getline(in, line);
-  EXPECT_EQ(line, "cycle,signal,value");
+  EXPECT_EQ(line, "cycle,signal,value,note");
   std::getline(in, line);
-  EXPECT_EQ(line, "1,scan,100");
+  EXPECT_EQ(line, "1,scan,100,");
+  std::remove(path.c_str());
+}
+
+TEST(SignalTrace, CsvMergesNotesByCycleAndQuotes) {
+  SignalTrace trace;
+  const auto sig = trace.register_signal("scan");
+  trace.enable();
+  trace.sample(1, sig, 100);
+  trace.note(1, "fault, \"hard\"");
+  trace.note(3, "abort");
+  trace.sample(5, sig, 105);
+  const std::string path = ::testing::TempDir() + "/hwgc_trace_notes.csv";
+  ASSERT_TRUE(trace.write_csv(path));
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "cycle,signal,value,note");
+  EXPECT_EQ(lines[1], "1,scan,100,");
+  EXPECT_EQ(lines[2], "1,note,,\"fault, \"\"hard\"\"\"");
+  EXPECT_EQ(lines[3], "3,note,,\"abort\"");
+  EXPECT_EQ(lines[4], "5,scan,105,");
+  std::remove(path.c_str());
+}
+
+TEST(SignalTrace, VcdEmitsNotesAsComments) {
+  SignalTrace trace;
+  const auto sig = trace.register_signal("scan");
+  trace.enable();
+  trace.sample(3, sig, 1);
+  trace.note(3, "injected $end of story");
+  trace.note(10, "after the last sample");
+  const std::string path = ::testing::TempDir() + "/hwgc_trace_notes.vcd";
+  ASSERT_TRUE(trace.write_vcd(path));
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  // The embedded "$end" must be broken so it cannot close the comment.
+  EXPECT_NE(all.find("$comment injected $ end of story $end"),
+            std::string::npos);
+  // A note past the final sample still appears, under its own timestamp.
+  EXPECT_NE(all.find("#10\n$comment after the last sample $end"),
+            std::string::npos);
   std::remove(path.c_str());
 }
 
