@@ -1,0 +1,235 @@
+// torture_gc — cross-collector concurrency torture driver.
+//
+// Sweeps every collector over a shared seeded random-graph corpus and a
+// thread-count ladder (including heavy oversubscription), with the
+// TortureAgitator injecting barrier-synchronized starts, seeded start
+// stagger and yield chaos into the threaded baselines, and seeded mutator
+// programs interleaving with the concurrent cycle. Every configuration
+// runs through the full conformance oracle (src/conformance/): forwarding
+// bijectivity, liveness, density/fragmentation accounting, evacuation
+// counters, cross-comparison against the sequential reference, and
+// idempotent re-collection.
+//
+//   torture_gc                           # full matrix, all collectors
+//   torture_gc --quick                   # CI preset: small matrix
+//   torture_gc --collectors stealing,naive --threads 2,16 --seeds 8
+//   torture_gc --collectors chunked --seed-base 42 --threads 16 --seeds 1 -v
+//   torture_gc --repro-file repro.txt    # write failing configs for CI
+//
+// Every run is deterministic per configuration at one thread and
+// structurally verified at any width; the exit status is the number of
+// failing configurations (capped at 125).
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "conformance/conformance.hpp"
+#include "conformance/harness.hpp"
+#include "workloads/random_graph.hpp"
+
+namespace {
+
+using namespace hwgc;
+
+void usage() {
+  std::cout <<
+      "usage: torture_gc [options]\n"
+      "  --collectors LIST  comma-separated collector names or 'all'\n"
+      "                     (coprocessor, sequential, naive, chunked,\n"
+      "                      packets, stealing, concurrent)\n"
+      "  --seeds N          graph seeds per (collector, threads) cell "
+      "(default 4)\n"
+      "  --seed-base N      first graph seed (default 1)\n"
+      "  --threads LIST     comma-separated thread/core counts\n"
+      "                     (default 1,2,4,8,16 — 16 oversubscribes)\n"
+      "  --nodes N          graph size in objects (default 96)\n"
+      "  --torture-seed N   agitator seed base (default derived per case)\n"
+      "  --no-torture       disable schedule perturbation\n"
+      "  --no-idempotence   skip the re-collection pass\n"
+      "  --no-cross         skip cross-comparison vs the sequential "
+      "reference\n"
+      "  --quick            CI preset: 2 seeds, threads 2,8, 64-node "
+      "graphs\n"
+      "  --repro-file PATH  append one reproducer line per failing config\n"
+      "  -v, --verbose      print every configuration, not just failures\n";
+}
+
+struct Options {
+  std::vector<CollectorId> collectors = all_collectors();
+  std::uint32_t seeds = 4;
+  std::uint64_t seed_base = 1;
+  std::vector<std::uint32_t> threads = {1, 2, 4, 8, 16};
+  std::uint32_t nodes = 96;
+  std::uint64_t torture_seed = 0;  // 0 = derive per case
+  bool torture = true;
+  bool idempotence = true;
+  bool cross = true;
+  bool verbose = false;
+  std::string repro_file;
+};
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto u64 = [&] { return std::strtoull(next(i), nullptr, 0); };
+    if (a == "--collectors") {
+      const std::string v = next(i);
+      if (v == "all") continue;
+      opt.collectors.clear();
+      for (const auto& name : split_commas(v)) {
+        const auto id = parse_collector(name);
+        if (!id) {
+          std::cerr << "unknown collector: " << name << "\n";
+          return false;
+        }
+        opt.collectors.push_back(*id);
+      }
+    } else if (a == "--seeds") {
+      opt.seeds = static_cast<std::uint32_t>(u64());
+    } else if (a == "--seed-base") {
+      opt.seed_base = u64();
+    } else if (a == "--threads") {
+      opt.threads.clear();
+      for (const auto& t : split_commas(next(i))) {
+        opt.threads.push_back(
+            static_cast<std::uint32_t>(std::strtoul(t.c_str(), nullptr, 0)));
+      }
+    } else if (a == "--nodes") {
+      opt.nodes = static_cast<std::uint32_t>(u64());
+    } else if (a == "--torture-seed") {
+      opt.torture_seed = u64();
+    } else if (a == "--no-torture") {
+      opt.torture = false;
+    } else if (a == "--no-idempotence") {
+      opt.idempotence = false;
+    } else if (a == "--no-cross") {
+      opt.cross = false;
+    } else if (a == "--quick") {
+      opt.seeds = 2;
+      opt.threads = {2, 8};
+      opt.nodes = 64;
+    } else if (a == "--repro-file") {
+      opt.repro_file = next(i);
+    } else if (a == "-v" || a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "-h" || a == "--help") {
+      usage();
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << a << "\n";
+      usage();
+      return false;
+    }
+  }
+  if (opt.collectors.empty() || opt.threads.empty() || opt.seeds == 0) {
+    std::cerr << "empty matrix\n";
+    return false;
+  }
+  return true;
+}
+
+std::string repro_line(const Options& opt, CollectorId id, std::uint64_t seed,
+                       std::uint32_t threads) {
+  std::ostringstream os;
+  os << "torture_gc --collectors " << to_string(id) << " --seed-base " << seed
+     << " --seeds 1 --threads " << threads << " --nodes " << opt.nodes;
+  if (!opt.torture) os << " --no-torture";
+  if (opt.torture_seed != 0) os << " --torture-seed " << opt.torture_seed;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  std::uint64_t cases = 0, failures = 0;
+  std::ofstream repro;
+  if (!opt.repro_file.empty()) {
+    repro.open(opt.repro_file, std::ios::app);
+    if (!repro) {
+      std::cerr << "cannot open repro file " << opt.repro_file << "\n";
+      return 2;
+    }
+  }
+
+  for (CollectorId id : opt.collectors) {
+    const CollectorTraits traits = traits_of(id);
+    // Single-threaded collectors do not vary with the thread ladder
+    // (cores for the simulators still do): skip redundant widths for the
+    // sequential reference only.
+    std::vector<std::uint32_t> widths = opt.threads;
+    if (id == CollectorId::kSequential) widths = {1};
+
+    for (std::uint32_t threads : widths) {
+      for (std::uint32_t k = 0; k < opt.seeds; ++k) {
+        const std::uint64_t seed = opt.seed_base + k;
+        RandomGraphConfig g;
+        g.nodes = opt.nodes;
+        ConformanceCase c;
+        c.plan = make_random_plan(seed, g);
+        c.harness.threads = threads;
+        c.harness.schedule_seed = seed ^ (threads * 0x9e3779b9ULL);
+        c.harness.mutator_seed = seed * 31 + threads;
+        c.harness.mutator_op_spacing = 1;
+        c.check_idempotence = opt.idempotence;
+        c.cross_compare = opt.cross;
+        if (opt.torture && traits.threaded) {
+          c.harness.torture.seed =
+              opt.torture_seed != 0
+                  ? opt.torture_seed
+                  : seed * 2654435761ULL + threads;
+          c.harness.torture.yield_period = 3;
+        }
+
+        ++cases;
+        const ConformanceVerdict v = run_conformance_case(id, c);
+        if (!v.ok) {
+          ++failures;
+          std::cerr << "FAIL " << to_string(id) << " seed=" << seed
+                    << " threads=" << threads << "\n  " << v.summary()
+                    << "\n  repro: " << repro_line(opt, id, seed, threads)
+                    << "\n";
+          if (repro) {
+            repro << repro_line(opt, id, seed, threads) << "\n";
+          }
+        } else if (opt.verbose) {
+          std::cout << "ok   " << to_string(id) << " seed=" << seed
+                    << " threads=" << threads << " live=" << v.live_objects
+                    << " copied=" << v.report.objects_copied
+                    << " wasted=" << v.report.wasted_words
+                    << " sync=" << v.report.sync_ops << "\n";
+        }
+      }
+    }
+  }
+
+  std::cout << "torture_gc: " << (cases - failures) << "/" << cases
+            << " configurations passed\n";
+  if (failures != 0) {
+    std::cerr << "torture_gc: " << failures << " FAILING configuration(s)\n";
+  }
+  return failures > 125 ? 125 : static_cast<int>(failures);
+}

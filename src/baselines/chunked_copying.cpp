@@ -160,9 +160,12 @@ ParallelGcStats ChunkedCopyingCollector::collect(Heap& heap) {
     if (root != kNullPtr) root = evacuate(states[0], root);
   }
 
+  TortureAgitator agitator(cfg_.torture, cfg_.threads);
   auto worker = [&](std::uint32_t tid) {
     ThreadState& ts = states[tid];
+    agitator.worker_start(tid);
     for (;;) {
+      agitator.chaos(tid);
       // 1. Prefer a sealed chunk from the shared stack.
       ChunkRange range{};
       {
@@ -210,6 +213,14 @@ ParallelGcStats ChunkedCopyingCollector::collect(Heap& heap) {
   threads.reserve(cfg_.threads);
   for (std::uint32_t t = 0; t < cfg_.threads; ++t) threads.emplace_back(worker, t);
   for (auto& t : threads) t.join();
+
+  // The final private chunk of each worker is never sealed; its tail is
+  // fragmentation all the same. Without this, words_copied would overcount
+  // by exactly these tails and the conformance oracle's accounting check
+  // (words_copied == live words) would fail.
+  for (auto& s : states) {
+    if (s.chunk_base != kNullPtr) s.tc.wasted_words += s.chunk_end - s.chunk_cur;
+  }
 
   ParallelGcStats stats;
   stats.threads = cfg_.threads;

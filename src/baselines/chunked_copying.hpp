@@ -28,6 +28,8 @@ class ChunkedCopyingCollector {
   struct Config {
     std::uint32_t threads = 8;
     Word chunk_words = 2048;
+    /// Schedule perturbation for the torture harness (parallel_common.hpp).
+    TortureKnobs torture{};
   };
 
   ChunkedCopyingCollector() : ChunkedCopyingCollector(Config{}) {}

@@ -89,9 +89,12 @@ ParallelGcStats NaiveParallelCheney::collect(Heap& heap) {
     if (root != kNullPtr) root = evacuate(root, counters[0]);
   }
 
+  TortureAgitator agitator(cfg_.torture, cfg_.threads);
   auto worker = [&](std::uint32_t tid) {
     ThreadCounters& tc = counters[tid];
+    agitator.worker_start(tid);
     for (;;) {
+      agitator.chaos(tid);
       if (st.done.load(std::memory_order_acquire)) return;
       Addr frame, orig;
       Word attrs;

@@ -30,6 +30,8 @@ class NaiveParallelCheney {
     /// Number of striped header spin locks emulating the per-core header
     /// lock registers. More stripes = fewer false conflicts.
     std::uint32_t header_lock_stripes = 1024;
+    /// Schedule perturbation for the torture harness (parallel_common.hpp).
+    TortureKnobs torture{};
   };
 
   NaiveParallelCheney() : NaiveParallelCheney(Config{}) {}

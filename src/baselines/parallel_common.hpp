@@ -28,8 +28,87 @@
 
 #include "heap/heap.hpp"
 #include "heap/object_model.hpp"
+#include "sim/rng.hpp"
 
 namespace hwgc {
+
+/// Schedule-perturbation knobs for the concurrency torture harness
+/// (examples/torture_gc.cpp). The software collectors must be correct under
+/// ANY host thread schedule; these knobs deliberately push the runs into
+/// unlikely corners of the schedule space:
+///   * a start barrier releases all workers at once (maximum contention on
+///     the first claims, instead of thread 0 finishing before thread N-1
+///     even launches — the common case on oversubscribed machines);
+///   * seeded per-thread start stagger then skews the released pack, so
+///     some workers race the termination detector of others;
+///   * chaos yields hand the OS scheduler a seeded stream of extra
+///     preemption points inside the work loops.
+/// A zero seed disables everything: production configs pay one branch.
+struct TortureKnobs {
+  std::uint64_t seed = 0;  ///< 0 disables all perturbation
+  bool start_barrier = true;
+  /// Maximum seeded busy-spin iterations a worker inserts between the
+  /// barrier release and its first claim.
+  std::uint32_t max_start_stagger = 512;
+  /// Roughly one forced yield per this many chaos points (0 = no yields).
+  std::uint32_t yield_period = 5;
+
+  bool enabled() const noexcept { return seed != 0; }
+};
+
+/// Per-collection agitator realizing TortureKnobs. Shared by all workers of
+/// one collection; per-thread RNG state keeps chaos decisions data-race-free
+/// and deterministic per (seed, tid) — though what the OS scheduler does
+/// with the injected yields is of course not.
+class TortureAgitator {
+ public:
+  TortureAgitator(const TortureKnobs& knobs, std::uint32_t workers)
+      : knobs_(knobs), workers_(workers), state_(workers) {
+    for (std::uint32_t t = 0; t < workers; ++t) {
+      state_[t].s = knobs.seed ^ (0x9e3779b97f4a7c15ULL * (t + 1));
+    }
+  }
+
+  /// Called by each worker before its first claim: rendezvous with the
+  /// other workers, then burn a seeded number of spin iterations.
+  void worker_start(std::uint32_t tid) {
+    if (!knobs_.enabled()) return;
+    if (knobs_.start_barrier && workers_ > 1) {
+      arrived_.fetch_add(1, std::memory_order_acq_rel);
+      while (arrived_.load(std::memory_order_acquire) < workers_) {
+        std::this_thread::yield();  // single-CPU hosts need the handoff
+      }
+    }
+    if (knobs_.max_start_stagger > 0) {
+      const std::uint64_t spins =
+          splitmix64(state_[tid].s) % knobs_.max_start_stagger;
+      for (std::uint64_t i = 0; i < spins; ++i) {
+        pause_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// A chaos point: called at the top of a worker's claim loop; yields the
+  /// thread's quantum with probability 1/yield_period.
+  void chaos(std::uint32_t tid) {
+    if (!knobs_.enabled() || knobs_.yield_period == 0) return;
+    if (splitmix64(state_[tid].s) % knobs_.yield_period == 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  struct alignas(64) PerThread {
+    std::uint64_t s = 0;
+  };
+
+  TortureKnobs knobs_;
+  std::uint32_t workers_;
+  std::vector<PerThread> state_;
+  std::atomic<std::uint32_t> arrived_{0};
+  /// Dummy target so the stagger spin is not optimized away.
+  std::atomic<std::uint64_t> pause_{0};
+};
 
 /// Statistics common to all software parallel collectors. The
 /// synchronization counters quantify the Section I/III argument: compare

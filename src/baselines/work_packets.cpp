@@ -99,8 +99,11 @@ ParallelGcStats WorkPacketCollector::collect(Heap& heap) {
   }
   publish(0);
 
+  TortureAgitator agitator(cfg_.torture, cfg_.threads);
   auto worker = [&](std::uint32_t tid) {
+    agitator.worker_start(tid);
     for (;;) {
+      agitator.chaos(tid);
       Packet in;
       {
         std::lock_guard<std::mutex> g(st.pool_mutex);

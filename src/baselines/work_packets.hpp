@@ -27,6 +27,8 @@ class WorkPacketCollector {
   struct Config {
     std::uint32_t threads = 8;
     std::uint32_t packet_capacity = 256;
+    /// Schedule perturbation for the torture harness (parallel_common.hpp).
+    TortureKnobs torture{};
   };
 
   WorkPacketCollector() : WorkPacketCollector(Config{}) {}

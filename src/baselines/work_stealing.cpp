@@ -130,10 +130,13 @@ ParallelGcStats WorkStealingCollector::collect(Heap& heap) {
     if (root != kNullPtr) root = evacuate(0, root);
   }
 
+  TortureAgitator agitator(cfg_.torture, cfg_.threads);
   auto worker = [&](std::uint32_t tid) {
     ThreadState& ts = states[tid];
     std::uint32_t victim = (tid + 1) % cfg_.threads;
+    agitator.worker_start(tid);
     for (;;) {
+      agitator.chaos(tid);
       // 1. Own queue, bottom end.
       Addr copy = kNullPtr;
       {
@@ -185,6 +188,14 @@ ParallelGcStats WorkStealingCollector::collect(Heap& heap) {
   threads.reserve(cfg_.threads);
   for (std::uint32_t t = 0; t < cfg_.threads; ++t) threads.emplace_back(worker, t);
   for (auto& t : threads) t.join();
+
+  // Account the tail of each worker's final LAB: it was never retired
+  // through alloc(), but it is fragmentation all the same — without it,
+  // words_copied would overcount and the conformance oracle's accounting
+  // check (words_copied == live words) would fail.
+  for (auto& s : states) {
+    if (s.lab_cur != kNullPtr) s.tc.wasted_words += s.lab_end - s.lab_cur;
+  }
 
   const Addr high_water = st.region_free.load(std::memory_order_acquire);
   heap.flip();

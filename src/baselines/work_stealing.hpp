@@ -25,6 +25,8 @@ class WorkStealingCollector {
   struct Config {
     std::uint32_t threads = 8;
     Word lab_words = 1024;  ///< local allocation buffer size
+    /// Schedule perturbation for the torture harness (parallel_common.hpp).
+    TortureKnobs torture{};
   };
 
   WorkStealingCollector() : WorkStealingCollector(Config{}) {}

@@ -1,0 +1,128 @@
+#include "conformance/forwarding.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "heap/object_model.hpp"
+
+namespace hwgc {
+
+namespace {
+
+std::string hex(Addr a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+}  // namespace
+
+bool extract_forwarding_map(const char* who, const HeapSnapshot& pre,
+                            const Heap& post,
+                            std::vector<std::string>& errors,
+                            std::unordered_map<Addr, Addr>& fwd) {
+  const WordMemory& mem = post.memory();
+  std::unordered_set<Addr> images;
+  bool total = true;
+  fwd.reserve(pre.objects.size());
+  for (const auto& rec : pre.objects) {
+    const Word attrs = mem.load(attributes_addr(rec.addr));
+    if (!is_forwarded(attrs)) {
+      errors.push_back(std::string(who) + ": live object " + hex(rec.addr) +
+                       " has no forwarding pointer");
+      total = false;
+      continue;
+    }
+    const Addr copy = mem.load(link_addr(rec.addr));
+    if (!images.insert(copy).second) {
+      errors.push_back(std::string(who) +
+                       ": forwarding map not injective at copy " + hex(copy));
+      total = false;
+      continue;
+    }
+    fwd.emplace(rec.addr, copy);
+  }
+  return total;
+}
+
+bool check_dense_tiling(const char* who, const HeapSnapshot& pre,
+                        const Heap& post,
+                        const std::unordered_map<Addr, Addr>& fwd,
+                        std::vector<std::string>& errors) {
+  const WordMemory& mem = post.memory();
+  const Addr base = post.layout().current_base();
+  std::vector<Addr> sorted;
+  sorted.reserve(fwd.size());
+  for (const auto& [from, copy] : fwd) {
+    (void)from;
+    sorted.push_back(copy);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  Addr expect = base;
+  for (Addr copy : sorted) {
+    if (copy != expect) {
+      errors.push_back(std::string(who) +
+                       ": forwarding images do not tile tospace: " +
+                       "expected image at " + hex(expect) + ", next is " +
+                       hex(copy));
+      return false;
+    }
+    expect += object_words(mem.load(attributes_addr(copy)));
+  }
+  if (expect != base + pre.live_words || post.alloc_ptr() != expect) {
+    errors.push_back(std::string(who) +
+                     ": forwarding map not onto the live extent (" +
+                     std::to_string(expect - base) + " image words, " +
+                     std::to_string(pre.live_words) + " live words, alloc at " +
+                     hex(post.alloc_ptr()) + ")");
+    return false;
+  }
+  return true;
+}
+
+void cross_compare_images(const char* a_name, const char* b_name,
+                          const HeapSnapshot& pre, const Heap& a,
+                          const Heap& b,
+                          const std::unordered_map<Addr, Addr>& fwd_a,
+                          const std::unordered_map<Addr, Addr>& fwd_b,
+                          std::vector<std::string>& errors,
+                          bool shapes_only) {
+  for (const auto& rec : pre.objects) {
+    const Addr ca = fwd_a.at(rec.addr);
+    const Addr cb = fwd_b.at(rec.addr);
+    const Word attrs_a = a.memory().load(attributes_addr(ca));
+    const Word attrs_b = b.memory().load(attributes_addr(cb));
+    if (pi_of(attrs_a) != pi_of(attrs_b) ||
+        delta_of(attrs_a) != delta_of(attrs_b)) {
+      errors.push_back("image shapes diverge for pre object " + hex(rec.addr));
+      continue;
+    }
+    if (shapes_only) continue;
+    for (Word i = 0; i < rec.pi; ++i) {
+      const Addr old_child = rec.pointers[i];
+      const Addr want_a = old_child == kNullPtr ? kNullPtr : fwd_a.at(old_child);
+      const Addr want_b = old_child == kNullPtr ? kNullPtr : fwd_b.at(old_child);
+      const Addr got_a = a.memory().load(pointer_field_addr(ca, i));
+      const Addr got_b = b.memory().load(pointer_field_addr(cb, i));
+      if (got_a != want_a || got_b != want_b) {
+        errors.push_back("pointer field " + std::to_string(i) +
+                         " of pre object " + hex(rec.addr) +
+                         " denotes different children: " + a_name + " " +
+                         hex(got_a) + "/" + hex(want_a) + ", " + b_name + " " +
+                         hex(got_b) + "/" + hex(want_b));
+      }
+    }
+    for (Word j = 0; j < rec.delta; ++j) {
+      const Word da = a.memory().load(data_field_addr(ca, rec.pi, j));
+      const Word db = b.memory().load(data_field_addr(cb, rec.pi, j));
+      if (da != db) {
+        errors.push_back("data word " + std::to_string(j) + " of pre object " +
+                         hex(rec.addr) + " diverges: " + std::to_string(da) +
+                         " != " + std::to_string(db));
+      }
+    }
+  }
+}
+
+}  // namespace hwgc

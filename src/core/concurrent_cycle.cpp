@@ -243,6 +243,7 @@ void MutatorSim::begin_op() {
         // Gray: dual-write through to the fromspace original so the
         // copying core cannot lose the store (see header comment).
         m.store(data_field_addr(backlink_of(obj), shadow_[s].pi, j), v);
+        ++stats_.barrier_dual_writes;
       }
       progress();
       finish_op();
@@ -260,6 +261,7 @@ void MutatorSim::begin_op() {
       m.store(pointer_field_addr(obj, f), target);
       if (!object_black(obj)) {
         m.store(pointer_field_addr(backlink_of(obj), f), target);
+        ++stats_.barrier_dual_writes;
       }
       progress();
       finish_op();

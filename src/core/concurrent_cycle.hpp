@@ -51,6 +51,9 @@ struct ConcurrentStats {
   std::uint64_t mutator_ops = 0;         ///< operations completed during GC
   std::uint64_t barrier_gray_reads = 0;  ///< reads redirected via backlink
   std::uint64_t barrier_evacuations = 0; ///< evacuations done by the mutator
+  /// Writes to gray objects that were dual-stored to both the tospace frame
+  /// and the fromspace original (the write-to-gray protocol; see above).
+  std::uint64_t barrier_dual_writes = 0;
   std::uint64_t mutator_allocations = 0;
   /// Allocation attempts refused by admission control (the reserve for the
   /// worst-case remaining evacuation demand was too tight). A real runtime

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "conformance/forwarding.hpp"
 #include "core/coprocessor.hpp"
 #include "core/schedule_policy.hpp"
 #include "heap/object_model.hpp"
@@ -84,106 +85,17 @@ std::string FuzzVerdict::summary() const {
 
 namespace {
 
-std::string hex(Addr a) {
-  std::ostringstream os;
-  os << "0x" << std::hex << a;
-  return os.str();
-}
-
-/// Reads the forwarding map {pre addr -> copy} out of a collected heap and
-/// checks it is a bijection onto the dense tospace extent: total over the
-/// pre-live set, injective, and its images tile exactly
-/// [base, base + live_words) with the allocation pointer at the end.
+/// Forwarding-map bijectivity + dense-tiling check, via the shared
+/// implementation in src/conformance/forwarding.hpp (the coprocessor and
+/// the sequential reference are both Cheney-dense, so tiling is required).
 bool build_forwarding_map(const char* who, const HeapSnapshot& pre,
                           const Heap& post, FuzzVerdict& v,
                           std::unordered_map<Addr, Addr>& fwd) {
-  const WordMemory& mem = post.memory();
-  const Addr base = post.layout().current_base();
-  std::unordered_set<Addr> images;
-  bool total = true;
-  fwd.reserve(pre.objects.size());
-  for (const auto& rec : pre.objects) {
-    const Word attrs = mem.load(attributes_addr(rec.addr));
-    if (!is_forwarded(attrs)) {
-      v.fail(std::string(who) + ": live object " + hex(rec.addr) +
-             " has no forwarding pointer");
-      total = false;
-      continue;
-    }
-    const Addr copy = mem.load(link_addr(rec.addr));
-    if (!images.insert(copy).second) {
-      v.fail(std::string(who) + ": forwarding map not injective at copy " +
-             hex(copy));
-      total = false;
-      continue;
-    }
-    fwd.emplace(rec.addr, copy);
-  }
-  if (!total) return false;
-
-  std::vector<Addr> sorted(images.begin(), images.end());
-  std::sort(sorted.begin(), sorted.end());
-  Addr expect = base;
-  for (Addr copy : sorted) {
-    if (copy != expect) {
-      v.fail(std::string(who) + ": forwarding images do not tile tospace: " +
-             "expected image at " + hex(expect) + ", next is " + hex(copy));
-      return false;
-    }
-    expect += object_words(mem.load(attributes_addr(copy)));
-  }
-  if (expect != base + pre.live_words || post.alloc_ptr() != expect) {
-    v.fail(std::string(who) + ": forwarding map not onto the live extent (" +
-           std::to_string(expect - base) + " image words, " +
-           std::to_string(pre.live_words) + " live words, alloc at " +
-           hex(post.alloc_ptr()) + ")");
-    return false;
-  }
-  return true;
-}
-
-/// Byte-for-byte equivalence of the two tospace images modulo copy order:
-/// for every pre-live object, its two copies must have the same shape, the
-/// same data words, and pointer fields that denote the same pre-cycle
-/// child (resolved through each heap's own forwarding map).
-void cross_compare_images(const HeapSnapshot& pre, const Heap& a,
-                          const Heap& b,
-                          const std::unordered_map<Addr, Addr>& fwd_a,
-                          const std::unordered_map<Addr, Addr>& fwd_b,
-                          FuzzVerdict& v) {
-  for (const auto& rec : pre.objects) {
-    const Addr ca = fwd_a.at(rec.addr);
-    const Addr cb = fwd_b.at(rec.addr);
-    const Word attrs_a = a.memory().load(attributes_addr(ca));
-    const Word attrs_b = b.memory().load(attributes_addr(cb));
-    if (pi_of(attrs_a) != pi_of(attrs_b) ||
-        delta_of(attrs_a) != delta_of(attrs_b)) {
-      v.fail("image shapes diverge for pre object " + hex(rec.addr));
-      continue;
-    }
-    for (Word i = 0; i < rec.pi; ++i) {
-      const Addr old_child = rec.pointers[i];
-      const Addr want_a = old_child == kNullPtr ? kNullPtr : fwd_a.at(old_child);
-      const Addr want_b = old_child == kNullPtr ? kNullPtr : fwd_b.at(old_child);
-      const Addr got_a = a.memory().load(pointer_field_addr(ca, i));
-      const Addr got_b = b.memory().load(pointer_field_addr(cb, i));
-      if (got_a != want_a || got_b != want_b) {
-        v.fail("pointer field " + std::to_string(i) + " of pre object " +
-               hex(rec.addr) + " denotes different children: coprocessor " +
-               hex(got_a) + "/" + hex(want_a) + ", sequential " + hex(got_b) +
-               "/" + hex(want_b));
-      }
-    }
-    for (Word j = 0; j < rec.delta; ++j) {
-      const Word da = a.memory().load(data_field_addr(ca, rec.pi, j));
-      const Word db = b.memory().load(data_field_addr(cb, rec.pi, j));
-      if (da != db) {
-        v.fail("data word " + std::to_string(j) + " of pre object " +
-               hex(rec.addr) + " diverges: " + std::to_string(da) + " != " +
-               std::to_string(db));
-      }
-    }
-  }
+  std::vector<std::string> errors;
+  const bool ok = extract_forwarding_map(who, pre, post, errors, fwd) &&
+                  check_dense_tiling(who, pre, post, fwd, errors);
+  for (auto& e : errors) v.fail(std::move(e));
+  return ok;
 }
 
 }  // namespace
@@ -281,7 +193,10 @@ FuzzVerdict run_fuzz_case(const FuzzCase& fc, TelemetryBus* telemetry) {
   const bool ref_ok =
       build_forwarding_map("sequential", pre_ref, *ref.heap, v, fwd_ref);
   if (hw_ok && ref_ok) {
-    cross_compare_images(pre, *hw.heap, *ref.heap, fwd_hw, fwd_ref, v);
+    std::vector<std::string> errors;
+    cross_compare_images("coprocessor", "sequential", pre, *hw.heap,
+                         *ref.heap, fwd_hw, fwd_ref, errors);
+    for (auto& e : errors) v.fail(std::move(e));
   }
 
   if (!v.ok) v.schedule_tail = sched.dump();
