@@ -1,0 +1,97 @@
+// google-benchmark baselines for the multi-tenant heap service.
+//
+// Not a paper figure: these keep the SERVICE layer honest the same way
+// bench_simulator_microbench keeps the cycle loop honest. Host-side
+// requests/second through the full dispatch path (traffic draw, scheduler
+// decision, mutator execution, SLO accounting) is what makes the
+// EXPERIMENTS.md heapd sweeps (hundreds of thousands of requests) complete
+// in seconds, and the reported simulated-latency counters give a baseline
+// to spot accounting regressions against.
+#include <benchmark/benchmark.h>
+
+#include "service/heap_service.hpp"
+
+namespace {
+
+using namespace hwgc;
+
+ServiceConfig service_config(std::size_t shards, GcSchedulerKind sched) {
+  ServiceConfig cfg;
+  cfg.shards = shards;
+  cfg.semispace_words = 4096;
+  cfg.sim.coprocessor.num_cores = 4;
+  cfg.oracle = false;  // measure the dispatch path, not snapshotting
+  cfg.scheduler = sched;
+  return cfg;
+}
+
+void report(benchmark::State& state, const HeapService& service,
+            std::uint64_t requests) {
+  const SloStats fleet = service.fleet_stats();
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(requests) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["sim_p99_clk"] =
+      static_cast<double>(fleet.latency.percentile(0.99));
+  state.counters["collections"] = static_cast<double>(fleet.collections);
+}
+
+/// Full dispatch path, reactive policy, scaling in shard count.
+void BM_ServeReactive(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kRequests = 2000;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    HeapService service(service_config(shards, GcSchedulerKind::kReactive));
+    state.ResumeTiming();
+    service.serve(kRequests);
+    total += kRequests;
+    benchmark::DoNotOptimize(service.fleet_stats().completed);
+    state.PauseTiming();
+    report(state, service, kRequests);
+    state.ResumeTiming();
+  }
+  (void)total;
+}
+BENCHMARK(BM_ServeReactive)->Arg(1)->Arg(4)->Arg(8);
+
+/// Scheduler-policy comparison at a fixed fleet size.
+void BM_ServeScheduler(benchmark::State& state) {
+  const auto kind = static_cast<GcSchedulerKind>(state.range(0));
+  constexpr std::uint64_t kRequests = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    HeapService service(service_config(4, kind));
+    state.ResumeTiming();
+    service.serve(kRequests);
+    benchmark::DoNotOptimize(service.fleet_stats().completed);
+    state.PauseTiming();
+    report(state, service, kRequests);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ServeScheduler)
+    ->Arg(static_cast<int>(GcSchedulerKind::kReactive))
+    ->Arg(static_cast<int>(GcSchedulerKind::kProactive))
+    ->Arg(static_cast<int>(GcSchedulerKind::kRoundRobin));
+
+/// The oracle's cost: same run with per-cycle snapshot + post-structure
+/// verification switched on.
+void BM_ServeWithOracle(benchmark::State& state) {
+  constexpr std::uint64_t kRequests = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ServiceConfig cfg = service_config(4, GcSchedulerKind::kProactive);
+    cfg.oracle = true;
+    HeapService service(cfg);
+    state.ResumeTiming();
+    service.serve(kRequests);
+    benchmark::DoNotOptimize(service.fleet_stats().oracle_failures);
+  }
+}
+BENCHMARK(BM_ServeWithOracle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,11 +1,15 @@
-// bench_validate — schema gate for hwgc-bench-v1 JSONL metric files.
+// bench_validate — schema gate for hwgc JSONL metric files.
 //
 // Validates every line of every file named on the command line against the
-// stable schema (telemetry/metrics.hpp validate_bench_jsonl_file): required
-// keys present and correctly typed, fractions within [0, 1], percentile
-// ordering. CI runs it over freshly produced BENCH_*.json artifacts so a
-// schema drift fails the build rather than silently breaking downstream
-// dashboards.
+// stable schema its "schema" field names: hwgc-bench-v1
+// (telemetry/metrics.hpp) or hwgc-service-v1
+// (service/service_metrics.hpp). Required keys present and correctly
+// typed, fractions within [0, 1], percentile ordering, and — for service
+// records — exact stall accounting (service + queue + stall ==
+// latency_cycles). A heapd artifact carries both sections in one file;
+// lines with an unknown or missing schema are violations. CI runs it over
+// freshly produced BENCH_*.json artifacts so a schema drift fails the
+// build rather than silently breaking downstream dashboards.
 //
 // Usage: bench_validate FILE [FILE...]
 // Exit status: 0 all files valid, 1 any violation or unreadable file,
@@ -14,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "telemetry/metrics.hpp"
+#include "service/service_metrics.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -24,7 +28,7 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (int i = 1; i < argc; ++i) {
     std::vector<std::string> errors;
-    const bool ok = hwgc::validate_bench_jsonl_file(argv[i], &errors);
+    const bool ok = hwgc::validate_metrics_jsonl_file(argv[i], &errors);
     if (ok) {
       std::printf("%s: OK\n", argv[i]);
       continue;

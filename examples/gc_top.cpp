@@ -23,6 +23,15 @@
 //                       p50/p99 across all cycles) as hwgc-bench-v1 JSONL
 //     --trace-json=PATH export the whole session timeline — one telemetry
 //                       epoch per collection — as Chrome-trace JSON
+//
+// Service mode (--shards=N): instead of one runtime, drives a HeapService
+// fleet panel — one row per shard with occupancy, backlog, collections,
+// request latency percentiles and the stall share — serving --every
+// requests per frame for --collections frames under --scheduler. --json
+// then writes the hwgc-service-v1 section.
+//     --shards=N        fleet size; 0 (default) keeps the classic panel
+//     --scheduler=NAME  reactive | proactive | roundrobin (default
+//                       proactive)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +39,8 @@
 #include <thread>
 
 #include "runtime/runtime.hpp"
+#include "service/heap_service.hpp"
+#include "service/service_metrics.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_export.hpp"
 #include "workloads/mutator.hpp"
@@ -46,6 +57,8 @@ struct CliOptions {
   std::uint32_t interval_ms = 150;
   std::uint64_t seed = 1;
   std::uint32_t faults = 0;
+  std::uint32_t shards = 0;
+  GcSchedulerKind scheduler = GcSchedulerKind::kProactive;
   bool no_clear = false;
   std::string json_path;
   std::string trace_json;
@@ -76,6 +89,15 @@ CliOptions parse(int argc, char** argv) {
       o.interval_ms = v;
     } else if (parse_u32(a, "--faults", v)) {
       o.faults = v;
+    } else if (parse_u32(a, "--shards", v)) {
+      o.shards = v;
+    } else if (a.rfind("--scheduler=", 0) == 0) {
+      const auto k = parse_scheduler(a.substr(12));
+      if (!k.has_value()) {
+        std::fprintf(stderr, "unknown scheduler: %s\n", a.c_str() + 12);
+        std::exit(2);
+      }
+      o.scheduler = *k;
     } else if (a.rfind("--seed=", 0) == 0) {
       o.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
     } else if (a == "--no-clear") {
@@ -199,10 +221,107 @@ void render(const CliOptions& o, const Runtime& rt, const ShadowMutator& mut) {
   std::fflush(stdout);
 }
 
+/// Occupancy as a fixed-width bar: '#' used, '.' free.
+std::string occupancy_bar(double occ, int width) {
+  if (occ < 0.0) occ = 0.0;
+  if (occ > 1.0) occ = 1.0;
+  const int used = static_cast<int>(occ * width + 0.5);
+  std::string bar(static_cast<std::size_t>(used), '#');
+  bar.append(static_cast<std::size_t>(width - used), '.');
+  return bar;
+}
+
+void render_fleet(const CliOptions& o, const HeapService& service,
+                  std::uint32_t frame) {
+  if (!o.no_clear) std::printf("\x1b[2J\x1b[H");
+  const SloStats fleet = service.fleet_stats();
+  std::printf("gc_top — %u shards × %u cores, %s scheduler  |  frame %u\n",
+              o.shards, o.cores, to_string(o.scheduler), frame);
+  std::printf("fleet: %llu served, %llu shed, %llu collections "
+              "(%llu scheduled), clock %llu\n\n",
+              static_cast<unsigned long long>(fleet.completed),
+              static_cast<unsigned long long>(fleet.rejected),
+              static_cast<unsigned long long>(fleet.collections),
+              static_cast<unsigned long long>(fleet.scheduled_collections),
+              static_cast<unsigned long long>(service.now()));
+  std::printf("      %-20s %5s %6s %5s %8s %8s %6s %s\n", "occupancy", "occ%",
+              "roots", "gc", "p50", "p99", "stl%", "oracle");
+  for (std::size_t i = 0; i < service.shard_count(); ++i) {
+    const ShardObservation ob = service.observe(i);
+    const SloStats& s = service.shard_stats(i);
+    const double stall_share =
+        s.latency.sum() > 0
+            ? 100.0 * static_cast<double>(s.stall_cycles) /
+                  static_cast<double>(s.latency.sum())
+            : 0.0;
+    std::printf("s%-4zu [%s] %4.0f%% %6llu %5llu %8llu %8llu %5.1f%% %s\n", i,
+                occupancy_bar(ob.occupancy, 20).c_str(), 100.0 * ob.occupancy,
+                static_cast<unsigned long long>(ob.live_roots),
+                static_cast<unsigned long long>(s.collections),
+                static_cast<unsigned long long>(s.latency.percentile(0.50)),
+                static_cast<unsigned long long>(s.latency.percentile(0.99)),
+                stall_share, s.oracle_failures == 0 ? "ok" : "FAIL");
+  }
+  std::fflush(stdout);
+}
+
+/// --shards=N: fleet panel over a HeapService instead of one runtime.
+int run_service_mode(const CliOptions& o) {
+  ServiceConfig cfg;
+  cfg.shards = o.shards;
+  cfg.semispace_words = o.heap_words;
+  cfg.sim.coprocessor.num_cores = o.cores;
+  cfg.traffic.seed = o.seed;
+  cfg.scheduler = o.scheduler;
+  if (o.faults > 0) {
+    cfg.fault_shard = 0;
+    cfg.fault_events = o.faults;
+    cfg.fault_seed = o.seed;
+  }
+  HeapService service(cfg);
+
+  TelemetryBus bus;
+  if (!o.trace_json.empty()) service.set_telemetry(&bus);
+
+  for (std::uint32_t frame = 1; frame <= o.collections; ++frame) {
+    service.serve(o.every);
+    render_fleet(o, service, frame);
+    if (o.interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(o.interval_ms));
+    }
+  }
+
+  const SloStats fleet = service.fleet_stats();
+  const std::size_t mismatches = service.validate_all_shards();
+  std::printf("\ncross-shard validation after %llu collection(s): "
+              "%zu mismatches, %llu oracle failure(s)\n",
+              static_cast<unsigned long long>(fleet.collections), mismatches,
+              static_cast<unsigned long long>(fleet.oracle_failures));
+
+  if (!o.trace_json.empty()) {
+    if (!write_chrome_trace(bus, o.trace_json)) {
+      std::fprintf(stderr, "error: failed to write %s\n", o.trace_json.c_str());
+      return 1;
+    }
+    std::printf("wrote fleet timeline (%zu epochs, %zu spans) to %s\n",
+                bus.epochs().size(), bus.spans().size(), o.trace_json.c_str());
+  }
+  if (!o.json_path.empty()) {
+    if (!write_service_jsonl(service, o.json_path, "gc_top")) {
+      std::fprintf(stderr, "error: failed to write %s\n", o.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu service record(s) to %s\n", service.shard_count() + 1,
+                o.json_path.c_str());
+  }
+  return (mismatches == 0 && fleet.oracle_failures == 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions o = parse(argc, argv);
+  if (o.shards > 0) return run_service_mode(o);
 
   SimConfig cfg;
   cfg.coprocessor.num_cores = o.cores;

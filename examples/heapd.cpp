@@ -1,0 +1,327 @@
+// heapd — multi-tenant heap service sweep driver.
+//
+// Stands up a HeapService (N sharded runtimes behind a seeded traffic
+// stream and a pluggable GC scheduler) for every point of the sweep matrix
+// (shards × scheduler × load) and drives `--requests` requests through it
+// in virtual time. Per configuration it reports per-shard and fleet-wide
+// request latency (p50/p99/p999, split exactly into service + queue + GC
+// stall), collection counts, admission-control rejections and SLO
+// violations — and it never trusts a run it did not verify: the
+// conformance post-structure oracle runs after every collection cycle on
+// every shard, and the final cross-shard shadow-graph walk must come back
+// clean. Any oracle finding, read mismatch or validation diff makes heapd
+// exit nonzero.
+//
+// The sweep recipes from EXPERIMENTS.md:
+//   heapd --shards 8 --scheduler proactive --requests 50000 --seed 1
+//   heapd --shards 2,4,8 --scheduler reactive,proactive,roundrobin \
+//         --load 0.5,1.0,2.0 --requests 20000 --json BENCH_heapd.json
+//   heapd --shards 4 --faults 2 --fault-shard 1 --requests 10000
+//
+// Options (space-separated values, fault_lab style):
+//   --shards a,b,..     shard counts to sweep (default 4)
+//   --scheduler a,b,..  policies: reactive proactive roundrobin (default
+//                       reactive)
+//   --load a,b,..       offered loads, open loop only (default 1.0)
+//   --requests N        requests per configuration (default 20000)
+//   --seed N            traffic seed (default 1)
+//   --sessions N        concurrent sessions (default 64)
+//   --heap-words N      per-shard semispace words (default 8192)
+//   --cores N           GC cores per shard coprocessor (default 4)
+//   --closed-loop       one outstanding request per session (default open)
+//   --slo N             SLO bound in cycles (default 16384; 0 disables)
+//   --max-backlog N     admission-control backlog bound (default 0 = none)
+//   --faults N          seeded fault events per collection on the fault
+//                       shard (runs it through the recovery machinery)
+//   --fault-shard N     shard receiving the faults (default 0 with --faults)
+//   --fault-seed N      fault plan seed (default 1)
+//   --no-oracle         skip the per-cycle post-structure oracle
+//   --json PATH         write hwgc-bench-v1 (per-shard GC aggregates) +
+//                       hwgc-service-v1 (latency/SLO) JSONL sections
+//   --trace-json PATH   Chrome-trace timeline of the FIRST configuration
+//   -v, --verbose       per-shard table for every configuration
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/heap_service.hpp"
+#include "service/service_metrics.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_export.hpp"
+
+namespace {
+
+using namespace hwgc;
+
+struct Options {
+  std::vector<std::size_t> shards{4};
+  std::vector<GcSchedulerKind> schedulers{GcSchedulerKind::kReactive};
+  std::vector<double> loads{1.0};
+  std::uint64_t requests = 20000;
+  std::uint64_t seed = 1;
+  std::uint32_t sessions = 64;
+  Word heap_words = 8192;
+  std::uint32_t cores = 4;
+  bool closed_loop = false;
+  Cycle slo = 1u << 14;
+  Cycle max_backlog = 0;
+  std::uint32_t faults = 0;
+  std::size_t fault_shard = ServiceConfig::kNoShard;
+  std::uint64_t fault_seed = 1;
+  bool oracle = true;
+  std::string json_path;
+  std::string trace_json;
+  bool verbose = false;
+};
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  const auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--shards") {
+      opt.shards.clear();
+      for (const auto& s : split_list(next(i))) {
+        opt.shards.push_back(std::strtoull(s.c_str(), nullptr, 0));
+      }
+    } else if (a == "--scheduler") {
+      opt.schedulers.clear();
+      for (const auto& s : split_list(next(i))) {
+        const auto k = parse_scheduler(s);
+        if (!k.has_value()) {
+          std::fprintf(stderr, "unknown scheduler %s\n", s.c_str());
+          return false;
+        }
+        opt.schedulers.push_back(*k);
+      }
+    } else if (a == "--load") {
+      opt.loads.clear();
+      for (const auto& s : split_list(next(i))) {
+        opt.loads.push_back(std::strtod(s.c_str(), nullptr));
+      }
+    } else if (a == "--requests") {
+      opt.requests = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--seed") {
+      opt.seed = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--sessions") {
+      opt.sessions =
+          static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+    } else if (a == "--heap-words") {
+      opt.heap_words = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--cores") {
+      opt.cores = static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+    } else if (a == "--closed-loop") {
+      opt.closed_loop = true;
+    } else if (a == "--slo") {
+      opt.slo = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--max-backlog") {
+      opt.max_backlog = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--faults") {
+      opt.faults =
+          static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+    } else if (a == "--fault-shard") {
+      opt.fault_shard = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--fault-seed") {
+      opt.fault_seed = std::strtoull(next(i), nullptr, 0);
+    } else if (a == "--no-oracle") {
+      opt.oracle = false;
+    } else if (a == "--json") {
+      opt.json_path = next(i);
+    } else if (a == "--trace-json") {
+      opt.trace_json = next(i);
+    } else if (a == "-v" || a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf("see the header of examples/heapd.cpp for options\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (opt.faults > 0 && opt.fault_shard == ServiceConfig::kNoShard) {
+    opt.fault_shard = 0;
+  }
+  return true;
+}
+
+ServiceConfig make_config(const Options& o, std::size_t shards,
+                          GcSchedulerKind sched, double load) {
+  ServiceConfig cfg;
+  cfg.shards = shards;
+  cfg.semispace_words = o.heap_words;
+  cfg.sim.coprocessor.num_cores = o.cores;
+  cfg.traffic.seed = o.seed;
+  cfg.traffic.sessions = o.sessions;
+  cfg.traffic.open_loop = !o.closed_loop;
+  cfg.traffic.load = load;
+  cfg.scheduler = sched;
+  cfg.max_backlog = o.max_backlog;
+  cfg.slo_cycles = o.slo;
+  cfg.oracle = o.oracle;
+  if (o.faults > 0) {
+    cfg.fault_shard = o.fault_shard;
+    cfg.fault_events = o.faults;
+    cfg.fault_seed = o.fault_seed;
+  }
+  return cfg;
+}
+
+void print_stats_row(const char* label, const SloStats& s) {
+  std::printf(
+      "  %-6s %8llu req %8llu ok %6llu shed | p50 %6llu p99 %7llu "
+      "p999 %7llu clk | %5llu gc (%llu sched, %llu recov) | %llu slo viol\n",
+      label, static_cast<unsigned long long>(s.offered),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.latency.percentile(0.50)),
+      static_cast<unsigned long long>(s.latency.percentile(0.99)),
+      static_cast<unsigned long long>(s.latency.percentile(0.999)),
+      static_cast<unsigned long long>(s.collections),
+      static_cast<unsigned long long>(s.scheduled_collections),
+      static_cast<unsigned long long>(s.recovered_collections),
+      static_cast<unsigned long long>(s.slo_violations));
+}
+
+/// One sweep point. Returns false when the oracle, a read probe or the
+/// cross-shard validation found anything.
+bool run_config(const Options& o, const ServiceConfig& cfg,
+                MetricsRegistry& registry, std::string& service_jsonl,
+                TelemetryBus* bus) {
+  HeapService service(cfg);
+  if (bus != nullptr) service.set_telemetry(bus);
+  service.serve(o.requests);
+
+  const SloStats fleet = service.fleet_stats();
+  std::printf("shards=%zu scheduler=%s load=%.2f %s\n", cfg.shards,
+              to_string(cfg.scheduler), cfg.traffic.load,
+              cfg.fault_events > 0 ? "(fault-injected)" : "");
+  if (o.verbose) {
+    for (std::size_t i = 0; i < service.shard_count(); ++i) {
+      char label[16];
+      std::snprintf(label, sizeof label, "s%zu", i);
+      print_stats_row(label, service.shard_stats(i));
+    }
+  }
+  print_stats_row("fleet", fleet);
+
+  // Cross-shard isolation proof: every shard's heap must still agree with
+  // its shadow model, fault-injected neighbors or not.
+  const std::size_t mismatches = service.validate_all_shards();
+  bool ok = true;
+  if (fleet.oracle_failures > 0) {
+    ok = false;
+    std::printf("  ORACLE: %llu post-structure failure(s)\n",
+                static_cast<unsigned long long>(fleet.oracle_failures));
+    for (std::size_t i = 0; i < service.shard_count(); ++i) {
+      for (const auto& d : service.oracle_diagnostics(i)) {
+        std::printf("    %s\n", d.c_str());
+      }
+    }
+  }
+  if (fleet.read_mismatches > 0) {
+    ok = false;
+    std::printf("  READS: %llu probe mismatch(es) against shadow graphs\n",
+                static_cast<unsigned long long>(fleet.read_mismatches));
+  }
+  if (mismatches > 0) {
+    ok = false;
+    std::printf("  VALIDATION: %zu cross-shard mismatch(es)\n", mismatches);
+  }
+  std::printf("  verification: %s (oracle on %llu cycles, cross-shard walk "
+              "clean=%s)\n\n",
+              ok ? "OK" : "FAILED",
+              static_cast<unsigned long long>(fleet.collections),
+              mismatches == 0 ? "yes" : "NO");
+
+  if (!o.json_path.empty()) {
+    // Per-shard GC aggregates land in the bench-v1 section...
+    for (std::size_t i = 0; i < service.shard_count(); ++i) {
+      MetricsRegistry::Key key;
+      key.benchmark = "heapd/" + std::string(to_string(cfg.scheduler)) +
+                      "/shard" + std::to_string(i) + "of" +
+                      std::to_string(cfg.shards);
+      key.cores = o.cores;
+      key.scale = cfg.traffic.load;
+      key.seed = o.seed;
+      const Runtime& rt = service.runtime(i);
+      for (const auto& s : rt.gc_history()) {
+        registry.record(key, cfg.sim, s);
+      }
+    }
+    // ...and latency/SLO accounting in the service-v1 section.
+    service_jsonl += service_report_jsonl(service, "heapd");
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  MetricsRegistry registry;
+  std::string service_jsonl;
+  TelemetryBus bus;
+  bool all_ok = true;
+  bool first = true;
+
+  for (std::size_t shards : opt.shards) {
+    for (GcSchedulerKind sched : opt.schedulers) {
+      for (double load : opt.loads) {
+        const ServiceConfig cfg = make_config(opt, shards, sched, load);
+        TelemetryBus* attach =
+            (first && !opt.trace_json.empty()) ? &bus : nullptr;
+        first = false;
+        all_ok &= run_config(opt, cfg, registry, service_jsonl, attach);
+      }
+    }
+  }
+
+  if (!opt.trace_json.empty()) {
+    if (!write_chrome_trace(bus, opt.trace_json)) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   opt.trace_json.c_str());
+      return 1;
+    }
+    std::printf("wrote fleet timeline (%zu epochs, %zu spans) to %s\n",
+                bus.epochs().size(), bus.spans().size(),
+                opt.trace_json.c_str());
+  }
+  if (!opt.json_path.empty()) {
+    std::ofstream f(opt.json_path, std::ios::binary);
+    const std::string bench = registry.to_jsonl("heapd");
+    f.write(bench.data(), static_cast<std::streamsize>(bench.size()));
+    f.write(service_jsonl.data(),
+            static_cast<std::streamsize>(service_jsonl.size()));
+    f.flush();
+    if (!f.good()) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu bench record(s) + service records to %s\n",
+                registry.size(), opt.json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}

@@ -20,10 +20,14 @@ std::size_t Runtime::take_slot(Addr a) {
   if (!free_slots_.empty()) {
     const std::size_t slot = free_slots_.back();
     free_slots_.pop_back();
+    const std::size_t live = heap_.roots().size() - free_slots_.size();
+    if (live > root_high_water_) root_high_water_ = live;
     heap_.roots()[slot] = a;
     return slot;
   }
   heap_.roots().push_back(a);
+  const std::size_t live = heap_.roots().size() - free_slots_.size();
+  if (live > root_high_water_) root_high_water_ = live;
   return heap_.roots().size() - 1;
 }
 
@@ -77,6 +81,7 @@ Word Runtime::pi(Ref obj) const { return heap_.pi(addr(obj)); }
 Word Runtime::delta(Ref obj) const { return heap_.delta(addr(obj)); }
 
 const GcCycleStats& Runtime::collect() {
+  if (observer_ != nullptr) observer_->before_collection(*this);
   // Allocation into the current space is dense, so alloc_ptr is already
   // consistent; the coprocessor flips the heap and republishes it.
   if (cfg_.fault.enabled() || cfg_.recovery.enabled) {
@@ -104,6 +109,7 @@ const GcCycleStats& Runtime::collect() {
         "Runtime: mutator restart with undrained GC store buffers "
         "(Section V-E restart condition violated)");
   }
+  if (observer_ != nullptr) observer_->after_collection(*this, history_.back());
   return history_.back();
 }
 

@@ -21,6 +21,24 @@
 
 namespace hwgc {
 
+class Runtime;
+
+/// Observation seam around every collection cycle the runtime runs —
+/// explicit or allocation-triggered. The service layer (src/service/)
+/// hooks it to snapshot the live graph before a cycle and run the
+/// conformance post-structure oracle after it, and to account GC-induced
+/// request stall; tests hook it to prove exhaustion-triggered cycles are
+/// observed too. Callbacks run on the mutator's thread, before_collection
+/// with the pre-cycle heap, after_collection once the flipped heap has
+/// been published to the mutator (never for refused or unrecoverable
+/// cycles).
+class CollectionObserver {
+ public:
+  virtual ~CollectionObserver() = default;
+  virtual void before_collection(Runtime&) {}
+  virtual void after_collection(Runtime&, const GcCycleStats&) {}
+};
+
 class Runtime {
  public:
   /// A GC-safe object reference: a slot in the root table, kept up to date
@@ -83,6 +101,15 @@ class Runtime {
   void set_telemetry(TelemetryBus* bus) noexcept { telemetry_ = bus; }
   TelemetryBus* telemetry() const noexcept { return telemetry_; }
 
+  /// Attaches an observer notified around every collection cycle (explicit
+  /// or allocation-triggered). Pass nullptr to detach.
+  void set_collection_observer(CollectionObserver* obs) noexcept {
+    observer_ = obs;
+  }
+  CollectionObserver* collection_observer() const noexcept {
+    return observer_;
+  }
+
   /// Current heap address of a rooted reference. Only stable until the
   /// next collection — exposed for tests and debugging tools (e.g. the
   /// shadow-mutator validation and the heap inspector example).
@@ -107,6 +134,15 @@ class Runtime {
     return heap_.roots().size() - free_slots_.size();
   }
 
+  /// Total root-table slots (live + freelisted). Released slots are reused
+  /// before the table grows, so this never exceeds root_high_water() — the
+  /// freelist-hygiene invariant the service layer's occupancy pacing
+  /// depends on (and tests/test_runtime.cpp regression-tests).
+  std::size_t root_count() const noexcept { return heap_.roots().size(); }
+
+  /// Peak simultaneous live roots observed since construction.
+  std::size_t root_high_water() const noexcept { return root_high_water_; }
+
   Heap& heap() noexcept { return heap_; }
   const Heap& heap() const noexcept { return heap_; }
   const SimConfig& config() const noexcept { return cfg_; }
@@ -121,7 +157,9 @@ class Runtime {
   std::vector<GcCycleStats> history_;
   std::vector<RecoveryReport> recovery_history_;
   std::uint64_t drain_violations_ = 0;
+  std::size_t root_high_water_ = 0;
   TelemetryBus* telemetry_ = nullptr;
+  CollectionObserver* observer_ = nullptr;
 };
 
 }  // namespace hwgc

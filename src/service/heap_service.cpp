@@ -1,0 +1,320 @@
+#include "service/heap_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "conformance/conformance.hpp"
+#include "conformance/harness.hpp"
+#include "heap/object_model.hpp"
+
+namespace hwgc {
+
+namespace {
+
+/// Independent per-shard streams from one service seed.
+std::uint64_t shard_seed(std::uint64_t base, std::size_t shard) {
+  std::uint64_t s = base + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  return splitmix64(s);
+}
+
+/// Work volume per request kind, in mutator steps. Allocation-heavy
+/// requests churn more (sessions building state), releases less (teardown
+/// is cheap); the ShadowMutator's internal policy keeps the shadow graph
+/// consistent whatever the mix.
+std::uint32_t steps_for(RequestKind kind, std::uint32_t base) {
+  switch (kind) {
+    case RequestKind::kAllocate: return base + 2;
+    case RequestKind::kMutate: return base;
+    case RequestKind::kRelease: return base > 2 ? base / 2 : 1;
+    case RequestKind::kRead:
+    case RequestKind::kCount: break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+/// One shard: a full Runtime + shadow model + virtual-time bookkeeping.
+/// Doubles as the runtime's CollectionObserver so scheduled AND
+/// exhaustion-triggered cycles get identical oracle + stall accounting.
+struct HeapService::ShardState final : CollectionObserver {
+  ShardState(std::size_t index_, const ServiceConfig& cfg)
+      : index(index_),
+        fault_injected(cfg.fault_shard == index_ && cfg.fault_events > 0),
+        oracle(cfg.oracle),
+        rt(cfg.semispace_words, shard_sim_config(index_, cfg)),
+        mutator(shard_mutator_config(index_, cfg)) {
+    rt.set_collection_observer(this);
+  }
+
+  static SimConfig shard_sim_config(std::size_t index,
+                                    const ServiceConfig& cfg) {
+    SimConfig sim = cfg.sim;
+    if (cfg.fault_shard == index && cfg.fault_events > 0) {
+      sim.fault.events = cfg.fault_events;
+      sim.fault.seed = shard_seed(cfg.fault_seed, index);
+    }
+    return sim;
+  }
+
+  static ShadowMutator::Config shard_mutator_config(std::size_t index,
+                                                    const ServiceConfig& cfg) {
+    ShadowMutator::Config m = cfg.traffic.mutator;
+    m.seed = shard_seed(cfg.traffic.seed, index);
+    // The mutator's steady-state live set runs about 2× target_live objects
+    // of mean shape (interior links keep released roots reachable). Clamp
+    // target_live so that fits in half the semispace — a shard whose live
+    // set alone exceeds capacity dies on "exhausted even after a
+    // collection", which no scheduler can prevent.
+    const Word mean_words =
+        kHeaderWords + (m.max_pi + m.max_delta) / 2;
+    const std::size_t cap = static_cast<std::size_t>(
+        cfg.semispace_words / (4 * std::max<Word>(mean_words, 1)));
+    m.target_live = std::max<std::size_t>(1, std::min(m.target_live, cap));
+    return m;
+  }
+
+  // --- CollectionObserver ---------------------------------------------------
+
+  void before_collection(Runtime& r) override {
+    if (oracle) pre.emplace(HeapSnapshot::capture(r.heap()));
+  }
+
+  void after_collection(Runtime& r, const GcCycleStats& s) override {
+    ++stats.collections;
+    stats.gc_cycle_total += s.total_cycles;
+    pending_gc += s.total_cycles;
+    requests_since_gc = 0;
+    if (!r.recovery_history().empty()) {
+      const RecoveryReport& rep = r.recovery_history().back();
+      if (rep.faults_fired > 0 || rep.attempts.size() > 1) {
+        ++stats.recovered_collections;
+      }
+    }
+    if (oracle && pre.has_value()) {
+      run_oracle(r, s);
+      pre.reset();
+    }
+  }
+
+  /// Post-structure oracle over the cycle that just ran. Fault-free shards
+  /// get the conformance kit's full coprocessor contract (forwarding
+  /// bijectivity, dense tiling, single-evacuation counters); the
+  /// fault-injected shard may have finished through the recovery ladder's
+  /// sequential fallback, whose counters are a different family, so it is
+  /// held to the image properties only (liveness + dense compaction).
+  void run_oracle(Runtime& r, const GcCycleStats& s) {
+    std::vector<std::string> errors;
+    if (fault_injected) {
+      const VerifyResult vr = verify_collection(*pre, r.heap());
+      errors = vr.errors;
+    } else {
+      CycleReport report;
+      report.objects_copied = s.objects_copied;
+      report.words_copied = s.words_copied;
+      report.lock_order_violations = s.lock_order_violations;
+      std::uint64_t evac = 0;
+      for (const auto& c : s.per_core) evac += c.objects_evacuated;
+      report.evacuations = evac;
+      report.coproc = s;
+      check_post_structure(CollectorId::kCoprocessor, *pre, r.heap(), report,
+                           errors);
+    }
+    stats.oracle_failures += errors.size();
+    if (!errors.empty() && oracle_diagnostics.size() < 16) {
+      for (const auto& e : errors) {
+        if (oracle_diagnostics.size() >= 16) break;
+        oracle_diagnostics.push_back("shard " + std::to_string(index) + ": " +
+                                     e);
+      }
+    }
+  }
+
+  Cycle take_pending_gc() noexcept {
+    const Cycle g = pending_gc;
+    pending_gc = 0;
+    return g;
+  }
+
+  const std::size_t index;
+  const bool fault_injected;
+  const bool oracle;
+  Runtime rt;
+  ShadowMutator mutator;
+
+  Cycle next_free = 0;          ///< virtual cycle the backlog drains
+  Cycle gc_backlog = 0;         ///< collection cycles inside the backlog
+                                ///< not yet charged to any request
+  std::uint64_t requests_since_gc = 0;
+  Cycle pending_gc = 0;         ///< cycles collected since last harvest
+  std::optional<HeapSnapshot> pre;
+  SloStats stats;
+  std::vector<std::string> oracle_diagnostics;
+};
+
+HeapService::HeapService(const ServiceConfig& cfg)
+    : cfg_(cfg),
+      traffic_(cfg.traffic, cfg.shards),
+      scheduler_(make_scheduler(cfg.scheduler, cfg.scheduling)) {
+  if (cfg_.shards == 0) {
+    throw std::invalid_argument("HeapService: need at least one shard");
+  }
+  if (cfg_.fault_shard != ServiceConfig::kNoShard &&
+      cfg_.fault_shard >= cfg_.shards) {
+    throw std::invalid_argument("HeapService: fault_shard out of range");
+  }
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<ShardState>(i, cfg_));
+  }
+}
+
+HeapService::~HeapService() = default;
+
+std::vector<Cycle> HeapService::next_free_view() const {
+  std::vector<Cycle> v(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    v[i] = shards_[i]->next_free;
+  }
+  return v;
+}
+
+ShardObservation HeapService::observe(std::size_t shard) const {
+  const ShardState& s = *shards_.at(shard);
+  ShardObservation o;
+  o.shard = shard;
+  o.occupancy = static_cast<double>(s.rt.words_in_use()) /
+                static_cast<double>(s.rt.heap().capacity_words());
+  o.live_roots = s.rt.live_roots();
+  o.root_high_water = s.rt.root_high_water();
+  o.requests_since_gc = s.requests_since_gc;
+  o.backlog = s.next_free > now_ ? s.next_free - now_ : 0;
+  o.collections = s.stats.collections;
+  return o;
+}
+
+std::vector<ShardObservation> HeapService::observations(Cycle at) const {
+  std::vector<ShardObservation> v;
+  v.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardObservation o = observe(i);
+    o.backlog = shards_[i]->next_free > at ? shards_[i]->next_free - at : 0;
+    v.push_back(o);
+  }
+  return v;
+}
+
+void HeapService::run_scheduled_collection(ShardState& shard, Cycle at) {
+  shard.pending_gc = 0;
+  shard.rt.collect();  // observer handles oracle + per-cycle accounting
+  const Cycle dur = shard.take_pending_gc();
+  shard.next_free = std::max(shard.next_free, at) + dur;
+  shard.gc_backlog += dur;
+  ++shard.stats.scheduled_collections;
+}
+
+void HeapService::serve(std::uint64_t requests) {
+  for (std::uint64_t n = 0; n < requests; ++n) {
+    const Request req = traffic_.next(next_free_view());
+    if (req.arrival > now_) now_ = req.arrival;
+    ++offered_;
+    ShardState& sh = *shards_[req.shard];
+    ++sh.stats.offered;
+
+    // Admission control: shed instead of queueing past the debt bound.
+    const Cycle backlog =
+        sh.next_free > req.arrival ? sh.next_free - req.arrival : 0;
+    if (cfg_.max_backlog > 0 && backlog > cfg_.max_backlog) {
+      ++sh.stats.rejected;
+      continue;
+    }
+
+    // One scheduling decision per dispatch — the scheduler may collect any
+    // shard, not just the one this request lands on.
+    if (const auto pick = scheduler_->pick(observations(req.arrival))) {
+      run_scheduled_collection(*shards_[*pick], req.arrival);
+    }
+
+    const Cycle start = std::max(req.arrival, sh.next_free);
+    const Cycle wait = start - req.arrival;
+    // Collection debt from earlier dispatches drains into this request's
+    // stall component — charged to at most one request, never two. The
+    // shard is a FIFO server, so by `start` its queue (GC included) has
+    // fully drained: whatever debt this wait did not cover elapsed before
+    // the request arrived and delayed nobody. That discarded remainder is
+    // precisely the GC a proactive scheduler hides in idle time.
+    const Cycle inherited_stall = std::min(wait, sh.gc_backlog);
+    sh.gc_backlog = 0;
+
+    sh.pending_gc = 0;
+    std::uint32_t steps = 0;
+    std::size_t read_words = 0;
+    if (req.kind == RequestKind::kRead) {
+      std::size_t mismatches = 0;
+      read_words = sh.mutator.probe(sh.rt, &mismatches);
+      sh.stats.read_mismatches += mismatches;
+    } else {
+      steps = steps_for(req.kind, traffic_.config().steps_per_request);
+      for (std::uint32_t i = 0; i < steps; ++i) sh.mutator.step(sh.rt);
+    }
+    // Cycles of exhaustion-triggered collection during this request's own
+    // execution (harvested from the observer).
+    const Cycle own_gc = sh.take_pending_gc();
+    const Cycle service = traffic_.service_cost(steps, read_words);
+    const Cycle total = wait + own_gc + service;
+
+    sh.next_free = start + own_gc + service;
+    ++sh.stats.completed;
+    ++sh.requests_since_gc;
+    sh.stats.latency.record(total);
+    sh.stats.service_cycles += service;
+    sh.stats.queue_cycles += wait - inherited_stall;
+    sh.stats.stall_cycles += inherited_stall + own_gc;
+    if (cfg_.slo_cycles > 0 && total > cfg_.slo_cycles) {
+      ++sh.stats.slo_violations;
+    }
+  }
+}
+
+const SloStats& HeapService::shard_stats(std::size_t shard) const {
+  return shards_.at(shard)->stats;
+}
+
+const std::vector<std::string>& HeapService::oracle_diagnostics(
+    std::size_t shard) const {
+  return shards_.at(shard)->oracle_diagnostics;
+}
+
+SloStats HeapService::fleet_stats() const {
+  SloStats fleet;
+  for (const auto& s : shards_) fleet.merge(s->stats);
+  return fleet;
+}
+
+Runtime& HeapService::runtime(std::size_t shard) {
+  return shards_.at(shard)->rt;
+}
+
+const Runtime& HeapService::runtime(std::size_t shard) const {
+  return shards_.at(shard)->rt;
+}
+
+std::size_t HeapService::validate_shard(std::size_t shard) {
+  ShardState& s = *shards_.at(shard);
+  return s.mutator.validate(s.rt);
+}
+
+std::size_t HeapService::validate_all_shards() {
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    mismatches += validate_shard(i);
+  }
+  return mismatches;
+}
+
+void HeapService::set_telemetry(TelemetryBus* bus) {
+  for (auto& s : shards_) s->rt.set_telemetry(bus);
+}
+
+}  // namespace hwgc

@@ -1,0 +1,148 @@
+// HeapService — the multi-tenant heap layer (tentpole of the service work).
+//
+// The paper stops one application processor while the coprocessor collects
+// one heap (Section V-E). A production-scale runtime serves heavy traffic
+// from many tenants, which means MANY heaps collected under a latency
+// budget. The service composes everything below it into that layer:
+//
+//   * N independent shards, each a full Runtime (own Heap, own root-table
+//     namespace, own simulated coprocessor) plus a ShadowMutator that
+//     models the shard's expected object graph — shards share NOTHING, so
+//     a fault or a collection on one cannot perturb a neighbor, and the
+//     cross-shard verifier can prove it;
+//   * a seeded TrafficModel turning session requests (allocate / mutate /
+//     read / release) into shard work, open- or closed-loop;
+//   * a pluggable GcScheduler multiplexing collection across shards
+//     (reactive exhaustion, proactive occupancy pacing, budgeted
+//     round-robin), consulted before every dispatch;
+//   * admission control: a request arriving at a shard whose backlog
+//     (queued work + uncharged collection debt) exceeds max_backlog is
+//     rejected instead of queued — backpressure instead of unbounded tail
+//     latency;
+//   * end-to-end SLO accounting (slo.hpp): every completed request's
+//     latency is split exactly into service + queue + GC stall, with each
+//     collection cycle charged to exactly one request;
+//   * an optional per-cycle oracle: the conformance kit's post-structure
+//     checks (forwarding bijectivity, dense tiling, counter consistency)
+//     run against a pre-cycle snapshot after EVERY collection, on every
+//     shard — the service never trusts a cycle it did not verify.
+//
+// Time is virtual (simulated clock cycles): request interarrivals and
+// service costs come from the seeded traffic model, collection durations
+// from the cycle-accurate coprocessor simulation. The whole service is
+// bit-deterministic from its seeds, across scheduler policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "heap/verifier.hpp"
+#include "runtime/runtime.hpp"
+#include "service/scheduler.hpp"
+#include "service/slo.hpp"
+#include "service/traffic.hpp"
+#include "sim/config.hpp"
+#include "workloads/mutator.hpp"
+
+namespace hwgc {
+
+struct ServiceConfig {
+  static constexpr std::size_t kNoShard = ~std::size_t{0};
+
+  std::size_t shards = 4;
+
+  /// Per-shard semispace size in words.
+  Word semispace_words = 8192;
+
+  /// Per-shard simulator configuration (cores, memory model, ...).
+  SimConfig sim{};
+
+  TrafficConfig traffic{};
+
+  GcSchedulerKind scheduler = GcSchedulerKind::kReactive;
+  SchedulerConfig scheduling{};
+
+  /// Admission control: reject a request whose shard backlog exceeds this
+  /// many cycles. 0 = queue without bound.
+  Cycle max_backlog = 0;
+
+  /// SLO bound on end-to-end request latency; completions above it count
+  /// as violations. 0 = no SLO accounting.
+  Cycle slo_cycles = 1u << 14;
+
+  /// Run the conformance post-structure oracle after every collection
+  /// cycle, on every shard (costs a pre-cycle snapshot per collection).
+  bool oracle = true;
+
+  /// Per-shard fault injection: route `fault_events` seeded fault events
+  /// into every collection on `fault_shard` (collections there then run
+  /// through the RecoveringCollector). kNoShard disables.
+  std::size_t fault_shard = kNoShard;
+  std::uint32_t fault_events = 0;
+  std::uint64_t fault_seed = 1;
+};
+
+class HeapService {
+ public:
+  explicit HeapService(const ServiceConfig& cfg);
+  ~HeapService();
+
+  HeapService(const HeapService&) = delete;
+  HeapService& operator=(const HeapService&) = delete;
+
+  /// Serves the next `requests` requests from the traffic stream. May be
+  /// called repeatedly; state (virtual clock, backlogs, shard graphs)
+  /// carries over — gc_top uses this to animate a live panel.
+  void serve(std::uint64_t requests);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  const ServiceConfig& config() const noexcept { return cfg_; }
+
+  const SloStats& shard_stats(std::size_t shard) const;
+  /// Fleet-wide aggregate (per-shard stats merged).
+  SloStats fleet_stats() const;
+
+  /// First findings (capped) of the shard's post-structure oracle; empty
+  /// when every cycle verified clean.
+  const std::vector<std::string>& oracle_diagnostics(std::size_t shard) const;
+
+  Runtime& runtime(std::size_t shard);
+  const Runtime& runtime(std::size_t shard) const;
+
+  /// Scheduler-visible view of one shard, at the current virtual time.
+  ShardObservation observe(std::size_t shard) const;
+
+  /// Virtual fleet clock: the latest request arrival processed so far.
+  Cycle now() const noexcept { return now_; }
+  std::uint64_t requests_offered() const noexcept { return offered_; }
+
+  /// Walks every shard's shadow graph against its heap; returns the total
+  /// mismatch count (0 = every shard's heap agrees with its model). THE
+  /// cross-shard isolation check: run it after a fault-injected run to
+  /// prove neighbor shards were not perturbed.
+  std::size_t validate_all_shards();
+  std::size_t validate_shard(std::size_t shard);
+
+  /// Attaches one bus to every shard runtime: collections from all shards
+  /// land on a single fleet timeline, one epoch per cycle (core tracks are
+  /// shared across shards; epochs identify the collecting shard).
+  void set_telemetry(TelemetryBus* bus);
+
+ private:
+  struct ShardState;
+
+  std::vector<Cycle> next_free_view() const;
+  std::vector<ShardObservation> observations(Cycle at) const;
+  void run_scheduled_collection(ShardState& shard, Cycle at);
+
+  ServiceConfig cfg_;
+  TrafficModel traffic_;
+  std::unique_ptr<GcScheduler> scheduler_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  Cycle now_ = 0;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace hwgc

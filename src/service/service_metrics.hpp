@@ -1,0 +1,53 @@
+// hwgc-service-v1 — the heap service's stable JSONL metrics section.
+//
+// One record per shard plus one fleet-wide aggregate (shard = -1), flat
+// and append-only exactly like hwgc-bench-v1 (telemetry/metrics.hpp):
+// tooling may add fields, never rename or remove them. A heapd output
+// file typically carries BOTH sections — per-shard collection-cycle
+// aggregates as hwgc-bench-v1 lines and request-latency/SLO accounting as
+// hwgc-service-v1 lines — so validation dispatches per line on the
+// "schema" field (validate_metrics_jsonl_file), which is what the
+// bench_validate gate runs in CI.
+//
+// Schema invariants enforced by the validator:
+//   * field presence and types;
+//   * latency percentiles monotone (p50 <= p99 <= p999 <= max);
+//   * non-negative stall accounting that adds up exactly:
+//     service_cycles + queue_cycles + stall_cycles == latency_cycles;
+//   * completed + rejected == requests;
+//   * scheduled_collections <= collections, slo_violations <= completed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/heap_service.hpp"
+
+namespace hwgc {
+
+/// All shard records + the fleet record as JSONL, one "hwgc-service-v1"
+/// object per line (deterministic byte-for-byte for a deterministic run).
+std::string service_report_jsonl(const HeapService& service,
+                                 const std::string& suite);
+
+/// Appends service_report_jsonl() to `path` when `append` (so one file can
+/// hold an hwgc-bench-v1 section followed by the service section);
+/// truncates otherwise. Returns false on I/O failure.
+bool write_service_jsonl(const HeapService& service, const std::string& path,
+                         const std::string& suite, bool append = false);
+
+/// Validates one JSONL line against the hwgc-service-v1 schema.
+bool validate_service_jsonl_line(const std::string& line, std::string* error);
+
+/// Validates a whole file of hwgc-service-v1 records.
+bool validate_service_jsonl_file(const std::string& path,
+                                 std::vector<std::string>* errors);
+
+/// Mixed-schema gate: validates every line of `path` against the schema its
+/// "schema" field names (hwgc-bench-v1 or hwgc-service-v1); unknown or
+/// missing schemas are violations. This is what examples/bench_validate
+/// runs over CI artifacts.
+bool validate_metrics_jsonl_file(const std::string& path,
+                                 std::vector<std::string>* errors);
+
+}  // namespace hwgc

@@ -1,0 +1,61 @@
+#include "service/traffic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hwgc {
+
+TrafficModel::TrafficModel(const TrafficConfig& cfg, std::size_t shards)
+    : cfg_(cfg), shards_(shards), rng_(cfg.seed) {
+  if (shards_ == 0) {
+    throw std::invalid_argument("TrafficModel: need at least one shard");
+  }
+  if (cfg_.sessions == 0) {
+    throw std::invalid_argument("TrafficModel: need at least one session");
+  }
+  if (cfg_.allocate_sixteenths + cfg_.read_sixteenths +
+          cfg_.release_sixteenths > 16) {
+    throw std::invalid_argument(
+        "TrafficModel: request-kind mix exceeds 16/16");
+  }
+  if (!cfg_.open_loop) session_ready_.assign(cfg_.sessions, 0);
+}
+
+Request TrafficModel::next(const std::vector<Cycle>& shard_next_free) {
+  Request r;
+  r.id = next_id_++;
+  r.session = static_cast<std::uint32_t>(rng_.below(cfg_.sessions));
+  r.shard = r.session % shards_;
+
+  const std::uint64_t mix = rng_.below(16);
+  if (mix < cfg_.allocate_sixteenths) {
+    r.kind = RequestKind::kAllocate;
+  } else if (mix < cfg_.allocate_sixteenths + cfg_.read_sixteenths) {
+    r.kind = RequestKind::kRead;
+  } else if (mix < cfg_.allocate_sixteenths + cfg_.read_sixteenths +
+                       cfg_.release_sixteenths) {
+    r.kind = RequestKind::kRelease;
+  } else {
+    r.kind = RequestKind::kMutate;
+  }
+
+  if (cfg_.open_loop) {
+    // Seeded-uniform interarrival in [1, 2*mean - 1], mean scaled by load.
+    const double load = cfg_.load > 0.0 ? cfg_.load : 1.0;
+    const Cycle mean = std::max<Cycle>(
+        1, static_cast<Cycle>(static_cast<double>(cfg_.mean_interarrival) /
+                              load));
+    clock_ += 1 + rng_.below(2 * mean > 1 ? 2 * mean - 1 : 1);
+    r.arrival = clock_;
+  } else {
+    // Closed loop: the session waits for its previous request AND its
+    // shard's backlog to drain before issuing the next one.
+    const Cycle shard_free =
+        r.shard < shard_next_free.size() ? shard_next_free[r.shard] : 0;
+    r.arrival = std::max(session_ready_[r.session], shard_free);
+    session_ready_[r.session] = r.arrival + 1;
+  }
+  return r;
+}
+
+}  // namespace hwgc

@@ -144,14 +144,12 @@ bool MetricsRegistry::write_jsonl(const std::string& path,
 
 // --- schema validation ------------------------------------------------------
 
-namespace {
-
 /// Minimal scanner for the flat one-level JSON objects the registry emits:
 /// {"key":value,...} with string or number values, no nesting. Returns
 /// false with a diagnostic on malformed input.
-bool scan_flat_object(const std::string& line,
-                      std::vector<std::pair<std::string, std::string>>& kv,
-                      std::string* error) {
+bool parse_flat_json_object(
+    const std::string& line,
+    std::vector<std::pair<std::string, std::string>>& kv, std::string* error) {
   std::size_t i = 0;
   const auto fail = [&](const std::string& msg) {
     if (error != nullptr) {
@@ -221,6 +219,8 @@ bool scan_flat_object(const std::string& line,
   return true;
 }
 
+namespace {
+
 struct FieldSpec {
   const char* name;
   bool is_string;
@@ -261,7 +261,7 @@ constexpr FieldSpec kSchemaV1[] = {
 
 bool validate_bench_jsonl_line(const std::string& line, std::string* error) {
   std::vector<std::pair<std::string, std::string>> kv;
-  if (!scan_flat_object(line, kv, error)) return false;
+  if (!parse_flat_json_object(line, kv, error)) return false;
   const auto find = [&](const std::string& key) -> const std::string* {
     for (const auto& [k, v] : kv) {
       if (k == key) return &v;

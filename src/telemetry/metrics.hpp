@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -84,6 +85,15 @@ class MetricsRegistry {
 
   double baseline_mean(const Key& key) const;
 };
+
+/// Scans one flat one-level JSON object ({"key":value,...}, string or
+/// number values, no nesting) into key/value pairs; string values keep a
+/// leading '"' marker. Shared by the hwgc-bench-v1 validator below and the
+/// hwgc-service-v1 validator (service/service_metrics.hpp). Returns false
+/// with a diagnostic on malformed input.
+bool parse_flat_json_object(
+    const std::string& line,
+    std::vector<std::pair<std::string, std::string>>& kv, std::string* error);
 
 /// Validates one JSONL line against the hwgc-bench-v1 schema. Returns true
 /// when the line conforms; otherwise false with a diagnostic in `error`.

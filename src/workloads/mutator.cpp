@@ -2,9 +2,28 @@
 
 #include <algorithm>
 #include <deque>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
+#include "heap/object_model.hpp"
+
 namespace hwgc {
+
+ShadowMutator::ShadowMutator(Config cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.target_live == 0) {
+    throw std::invalid_argument(
+        "ShadowMutator: target_live must be >= 1 (a target of 0 can never "
+        "hold a rooted object)");
+  }
+  if (cfg_.max_pi > kMaxPi || cfg_.max_delta > kMaxDelta) {
+    throw std::invalid_argument(
+        "ShadowMutator: max_pi/max_delta (" + std::to_string(cfg_.max_pi) +
+        "/" + std::to_string(cfg_.max_delta) +
+        ") exceed the header encoding limits (" + std::to_string(kMaxPi) +
+        "/" + std::to_string(kMaxDelta) + ")");
+  }
+}
 
 std::size_t ShadowMutator::live_rooted() const noexcept {
   std::size_t n = 0;
@@ -19,6 +38,19 @@ std::size_t ShadowMutator::pick_live() {
 }
 
 void ShadowMutator::step(Runtime& rt) {
+  // A max-shape object that cannot fit an *empty* semispace would survive
+  // any number of collections and still throw from alloc() — reject the
+  // configuration the first time the target heap is known instead.
+  const Word worst = object_words(cfg_.max_pi, cfg_.max_delta);
+  if (worst > rt.heap().capacity_words()) {
+    throw std::invalid_argument(
+        "ShadowMutator: a max-shape object needs " + std::to_string(worst) +
+        " words (header + max_pi=" + std::to_string(cfg_.max_pi) +
+        " + max_delta=" + std::to_string(cfg_.max_delta) +
+        ") but the semispace holds only " +
+        std::to_string(rt.heap().capacity_words()) +
+        " — this churn can never fit");
+  }
   const std::size_t rooted = live_rooted();
   const double r = rng_.uniform01();
 
@@ -165,6 +197,27 @@ std::size_t ShadowMutator::validate(Runtime& rt) const {
   }
   for (Runtime::Ref r : temps) rt.release(r);
   return mismatches;
+}
+
+std::size_t ShadowMutator::probe(Runtime& rt, std::size_t* mismatches) {
+  if (live_.empty()) return 0;
+  // A released-but-reachable shadow object has no Ref to read through;
+  // retry a few draws before giving up on this probe.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const ShadowObj& obj = objs_[pick_live()];
+    if (!obj.rooted) continue;
+    if (rt.pi(obj.ref) != obj.pi || rt.delta(obj.ref) != obj.delta) {
+      if (mismatches != nullptr) ++*mismatches;
+      return 1;
+    }
+    for (Word j = 0; j < obj.delta; ++j) {
+      if (rt.get_data(obj.ref, j) != obj.data[j] && mismatches != nullptr) {
+        ++*mismatches;
+      }
+    }
+    return static_cast<std::size_t>(obj.delta);
+  }
+  return 0;
 }
 
 }  // namespace hwgc

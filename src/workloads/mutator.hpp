@@ -32,10 +32,19 @@ class ShadowMutator {
   };
 
   ShadowMutator() : ShadowMutator(Config{}) {}
-  explicit ShadowMutator(Config cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Validates the configuration eagerly: target_live == 0 (the mutator
+  /// could never hold an object, so every step would be a no-op or a
+  /// release of nothing) and max_pi/max_delta beyond the header encoding
+  /// (object_model.hpp kMaxPi/kMaxDelta) throw std::invalid_argument here
+  /// instead of corrupting headers or failing on a late allocation.
+  explicit ShadowMutator(Config cfg);
 
   /// Performs one mutation action: allocate, link, unlink, overwrite data
-  /// or release a root.
+  /// or release a root. Throws std::invalid_argument on the first call
+  /// against a runtime whose semispace cannot hold even one max-shape
+  /// object (such a config would otherwise die much later, whenever the
+  /// rng first draws the unsatisfiable shape).
   void step(Runtime& rt);
 
   void run(Runtime& rt, std::size_t steps) {
@@ -46,6 +55,13 @@ class ShadowMutator {
   /// data words and link structure against the real heap. Returns the
   /// number of mismatches (0 = heap and shadow agree).
   std::size_t validate(Runtime& rt) const;
+
+  /// Read-only probe for service-style read traffic (src/service/): picks
+  /// one rooted object and compares every data word against the shadow.
+  /// Returns the number of words read (0 when nothing is rooted); each
+  /// divergent word increments *mismatches when non-null. Unlike
+  /// validate() this is O(object), cheap enough to run per request.
+  std::size_t probe(Runtime& rt, std::size_t* mismatches = nullptr);
 
   std::size_t live_rooted() const noexcept;
   std::uint64_t allocations() const noexcept { return allocations_; }

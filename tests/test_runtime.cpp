@@ -65,6 +65,96 @@ TEST(Runtime, ThrowsWhenLiveSetExceedsHeap) {
       std::runtime_error);
 }
 
+// Root-table hygiene: a released Ref's slot must be handed to a later
+// alloc instead of growing the table — a service holding shards for
+// millions of requests would otherwise leak root slots without bound.
+TEST(Runtime, ReleasedRootSlotsAreReused) {
+  Runtime rt(1 << 14);
+  constexpr std::size_t kBatch = 32;
+  std::vector<Runtime::Ref> refs;
+  for (std::size_t i = 0; i < kBatch; ++i) refs.push_back(rt.alloc(0, 1));
+  EXPECT_EQ(rt.live_roots(), kBatch);
+  EXPECT_EQ(rt.root_count(), kBatch);
+  EXPECT_EQ(rt.root_high_water(), kBatch);
+
+  for (auto& r : refs) rt.release(r);
+  refs.clear();
+  EXPECT_EQ(rt.live_roots(), 0u);
+  EXPECT_EQ(rt.root_count(), kBatch) << "slots stay in the table, freelisted";
+  EXPECT_EQ(rt.root_high_water(), kBatch) << "high water never shrinks";
+
+  // Churn several batches through: the table must never grow past the
+  // first batch's high-water mark.
+  for (int round = 0; round < 8; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i) refs.push_back(rt.alloc(0, 1));
+    EXPECT_EQ(rt.live_roots(), kBatch);
+    EXPECT_EQ(rt.root_count(), kBatch)
+        << "round " << round << ": released slots were not reused";
+    EXPECT_EQ(rt.root_high_water(), kBatch);
+    for (auto& r : refs) rt.release(r);
+    refs.clear();
+  }
+}
+
+TEST(Runtime, RootHighWaterTracksPeakNotCurrent) {
+  Runtime rt(1 << 14);
+  auto a = rt.alloc(0, 1);
+  auto b = rt.alloc(0, 1);
+  auto c = rt.alloc(0, 1);
+  EXPECT_EQ(rt.root_high_water(), 3u);
+  rt.release(b);
+  rt.release(c);
+  EXPECT_EQ(rt.live_roots(), 1u);
+  EXPECT_EQ(rt.root_high_water(), 3u);
+  auto d = rt.alloc(0, 1);  // reuses a freed slot
+  EXPECT_EQ(rt.live_roots(), 2u);
+  EXPECT_EQ(rt.root_count(), 3u);
+  EXPECT_EQ(rt.root_high_water(), 3u);
+  rt.release(a);
+  rt.release(d);
+}
+
+// The CollectionObserver seam (what the heap service hangs its per-cycle
+// oracle on): both explicit collect() calls and exhaustion-triggered
+// cycles inside alloc() must invoke before/after in matched pairs.
+struct CountingObserver final : CollectionObserver {
+  int before = 0;
+  int after = 0;
+  Cycle last_cycles = 0;
+  void before_collection(Runtime&) override { ++before; }
+  void after_collection(Runtime&, const GcCycleStats& s) override {
+    ++after;
+    last_cycles = s.total_cycles;
+  }
+};
+
+TEST(Runtime, ObserverSeesExplicitAndExhaustionCycles) {
+  Runtime rt(2048);
+  CountingObserver obs;
+  rt.set_collection_observer(&obs);
+  EXPECT_EQ(rt.collection_observer(), &obs);
+
+  rt.collect();
+  EXPECT_EQ(obs.before, 1);
+  EXPECT_EQ(obs.after, 1);
+
+  // Churn garbage until allocation itself triggers collections.
+  for (int i = 0; i < 600; ++i) {
+    auto r = rt.alloc(0, 8);
+    rt.release(r);
+  }
+  EXPECT_GE(rt.gc_history().size(), 2u);
+  EXPECT_EQ(obs.after, static_cast<int>(rt.gc_history().size()))
+      << "every completed cycle must reach the observer";
+  EXPECT_EQ(obs.before, obs.after);
+  EXPECT_GT(obs.last_cycles, 0u);
+
+  rt.set_collection_observer(nullptr);
+  rt.collect();
+  EXPECT_EQ(obs.after, static_cast<int>(rt.gc_history().size()) - 1)
+      << "detached observer must not be called";
+}
+
 struct MutatorCase {
   std::uint32_t cores;
   std::uint64_t seed;

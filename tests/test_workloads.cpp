@@ -2,10 +2,13 @@
 // benchmark-shape generators.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <unordered_set>
 
 #include "heap/object_model.hpp"
+#include "runtime/runtime.hpp"
 #include "workloads/benchmarks.hpp"
+#include "workloads/mutator.hpp"
 #include "workloads/random_graph.hpp"
 
 namespace hwgc {
@@ -104,6 +107,66 @@ TEST(Benchmarks, RejectsNonPositiveScale) {
                std::invalid_argument);
   EXPECT_THROW(make_benchmark_plan(BenchmarkId::kDb, -1.0),
                std::invalid_argument);
+}
+
+// ShadowMutator::Config validation: impossible configurations must throw
+// at construction (or on the first step against an undersized heap), not
+// corrupt headers or die whenever the rng happens to draw the bad shape.
+TEST(ShadowMutatorConfig, RejectsZeroTargetLive) {
+  ShadowMutator::Config cfg;
+  cfg.target_live = 0;
+  EXPECT_THROW(ShadowMutator{cfg}, std::invalid_argument);
+}
+
+TEST(ShadowMutatorConfig, RejectsShapesBeyondHeaderEncoding) {
+  ShadowMutator::Config pi_too_big;
+  pi_too_big.max_pi = kMaxPi + 1;
+  EXPECT_THROW(ShadowMutator{pi_too_big}, std::invalid_argument);
+
+  ShadowMutator::Config delta_too_big;
+  delta_too_big.max_delta = kMaxDelta + 1;
+  EXPECT_THROW(ShadowMutator{delta_too_big}, std::invalid_argument);
+
+  ShadowMutator::Config at_limit;
+  at_limit.max_pi = kMaxPi;
+  at_limit.max_delta = kMaxDelta;
+  EXPECT_NO_THROW(ShadowMutator{at_limit});
+}
+
+TEST(ShadowMutatorConfig, RejectsShapeThatCanNeverFitSemispace) {
+  Runtime rt(64);
+  ShadowMutator::Config cfg;
+  cfg.max_pi = 100;
+  cfg.max_delta = 200;  // max-shape object: 302 words, far over capacity
+  ShadowMutator mut(cfg);
+  EXPECT_THROW(mut.step(rt), std::invalid_argument);
+
+  Runtime big(1 << 14);
+  ShadowMutator ok(cfg);
+  EXPECT_NO_THROW(ok.run(big, 50));
+}
+
+TEST(ShadowMutatorProbe, ReadsMatchShadowAcrossCollections) {
+  Runtime rt(2200);  // small semispace: probes span collection cycles
+  ShadowMutator mut({.seed = 3, .target_live = 48});
+  std::size_t words_read = 0;
+  std::size_t mismatches = 0;
+  for (int i = 0; i < 900; ++i) {
+    mut.run(rt, 10);
+    words_read += mut.probe(rt, &mismatches);
+  }
+  EXPECT_GE(rt.gc_history().size(), 2u)
+      << "probes must have spanned collection cycles";
+  EXPECT_GT(words_read, 0u);
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(ShadowMutatorProbe, ProbeWithoutMismatchPointerIsSafe) {
+  Runtime rt(1 << 14);
+  ShadowMutator mut({.seed = 9, .target_live = 16});
+  EXPECT_EQ(mut.probe(rt), 0u) << "nothing rooted yet: nothing to read";
+  mut.run(rt, 200);
+  (void)mut.probe(rt);  // null mismatch counter must not crash
 }
 
 TEST(RandomGraph, DeterministicAndInBounds) {
