@@ -29,6 +29,13 @@
 //   --heap-words N      per-shard semispace words (default 8192)
 //   --cores N           GC cores per shard coprocessor (default 4)
 //   --closed-loop       one outstanding request per session (default open)
+//   --host-threads N    host threads running shard work (default 1 =
+//                       serial; output is byte-identical either way).
+//                       0 = one per hardware thread. Ignored while
+//                       --trace-json is attached to a configuration
+//   --fast-forward B    1/0: event-driven clock fast-forward in each
+//                       shard's coprocessor (default 1; observationally
+//                       invisible, see DESIGN.md §13)
 //   --slo N             SLO bound in cycles (default 16384; 0 disables)
 //   --max-backlog N     admission-control backlog bound (default 0 = none)
 //   --faults N          seeded fault events per collection on the fault
@@ -40,12 +47,14 @@
 //                       hwgc-service-v1 (latency/SLO) JSONL sections
 //   --trace-json PATH   Chrome-trace timeline of the FIRST configuration
 //   -v, --verbose       per-shard table for every configuration
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/heap_service.hpp"
@@ -67,6 +76,8 @@ struct Options {
   Word heap_words = 8192;
   std::uint32_t cores = 4;
   bool closed_loop = false;
+  std::size_t host_threads = 1;
+  bool fast_forward = true;
   Cycle slo = 1u << 14;
   Cycle max_backlog = 0;
   std::uint32_t faults = 0;
@@ -131,6 +142,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.cores = static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
     } else if (a == "--closed-loop") {
       opt.closed_loop = true;
+    } else if (a == "--host-threads") {
+      opt.host_threads = std::strtoull(next(i), nullptr, 0);
+      if (opt.host_threads == 0) {
+        opt.host_threads =
+            std::max(1u, std::thread::hardware_concurrency());
+      }
+    } else if (a == "--fast-forward") {
+      opt.fast_forward = std::strtoul(next(i), nullptr, 0) != 0;
     } else if (a == "--slo") {
       opt.slo = std::strtoull(next(i), nullptr, 0);
     } else if (a == "--max-backlog") {
@@ -174,6 +193,8 @@ ServiceConfig make_config(const Options& o, std::size_t shards,
   cfg.traffic.sessions = o.sessions;
   cfg.traffic.open_loop = !o.closed_loop;
   cfg.traffic.load = load;
+  cfg.host_threads = o.host_threads;
+  cfg.sim.coprocessor.fast_forward = o.fast_forward;
   cfg.scheduler = sched;
   cfg.max_backlog = o.max_backlog;
   cfg.slo_cycles = o.slo;

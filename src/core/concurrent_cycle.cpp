@@ -511,6 +511,10 @@ ConcurrentStats ConcurrentCycle::run() {
   Cycle now = 0;
   const std::uint64_t start_gen = sb.barrier_generation();
   bool cores_halted = false;
+  // This loop deliberately ignores cfg.coprocessor.fast_forward: the
+  // mutator steps every cycle (allocation arrivals are cycle-triggered),
+  // so no cycle is ever quiescent in the DESIGN.md §13 sense. Per-tick
+  // accounting below is therefore safe here — and only here.
   while (true) {
     mem.tick(now);
     sb.begin_cycle();

@@ -59,6 +59,11 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
                                            cfg_.coprocessor.schedule_seed);
   std::vector<CoreId> step_order;
   step_order.reserve(n);
+  // The fixed-priority policy is stateless and always yields index order,
+  // so its permutation is computed once instead of every cycle.
+  const bool fixed_order =
+      cfg_.coprocessor.schedule == SchedulePolicyKind::kFixedPriority;
+  if (fixed_order) policy->order(0, sb, step_order);
 
   GcCycleStats stats;
   Cycle now = 0;
@@ -76,12 +81,11 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
     if (!trace->enabled()) trace->enable();
   }
 
-  auto all_done = [&] {
-    for (const auto& c : cores) {
-      if (!c.done()) return false;
-    }
-    return true;
-  };
+  // Done bookkeeping: kDone is absorbing, so a per-core flag plus a count
+  // replaces the every-cycle all-cores scan, and (fault-free) lets the
+  // step and signature loops skip finished cores entirely.
+  std::vector<std::uint8_t> core_done(n, 0);
+  std::uint32_t done_count = 0;
 
   // Clock loop: memory retires/accepts first, then cores step in the order
   // the schedule policy picks. The default fixed order realizes the SB's
@@ -97,14 +101,169 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
   Cycle halted_at = 0;
   bool tel_in_scan_phase = false;
   std::uint64_t tel_prev_gray = ~0ULL;
+
+  // Watchdog expiry (shared by the ticked path and the fast-forward jump
+  // to the budget boundary). Localize a suspect before aborting. First
+  // preference: a ScanState bit that reads busy while the core's
+  // architectural bit is clear (stuck-at-1 fault). Second: the unfinished
+  // core whose activity signature has been frozen the longest — a core
+  // that missed its clock for an eighth of the whole budget is
+  // fail-stopped, not slow.
+  const auto watchdog_abort = [&]() {
+    CoreId suspect = kNoCore;
+    for (CoreId c = 0; c < n && suspect == kNoCore; ++c) {
+      if (sb.busy(c) && !sb.busy_raw(c)) suspect = c;
+    }
+    if (suspect == kNoCore) {
+      Cycle worst = cfg_.coprocessor.watchdog_cycles / 8;
+      for (CoreId c = 0; c < n; ++c) {
+        if (cores[c].done()) continue;
+        const Cycle stale = now - last_change[c];
+        if (stale > worst) {
+          worst = stale;
+          suspect = c;
+        }
+      }
+    }
+    throw CollectionAbort(AbortReason::kWatchdog,
+                          "GC coprocessor watchdog expired after " +
+                              std::to_string(now) + " cycles" +
+                              (suspect == kNoCore
+                                   ? std::string{}
+                                   : ", suspect core " +
+                                         std::to_string(suspect)),
+                          suspect, now);
+  };
+
+  // Event-driven fast-forward (DESIGN.md §13): when every component is
+  // quiescent — memory ticks are pure waiting, every core's next steps are
+  // exact repetitions with precomputable effects — jump the clock to the
+  // next event (memory completion, fault boundary or watchdog budget)
+  // instead of ticking, and apply the skipped cycles' counter increments
+  // in bulk. Restricted to the fixed-priority schedule (the other policies
+  // mutate per-cycle state in order()) and to runs without a telemetry bus
+  // (the bus records per-cycle activity). SignalTrace and ScheduleTrace
+  // stay bit-identical: no traced signal changes during a quiescent window
+  // and the schedule ring is replayed via record_repeated().
+  const bool ff_active =
+      cfg_.coprocessor.fast_forward && telemetry == nullptr && fixed_order;
+  std::vector<GcCore::FfPoll> ff_class(n);
+  const auto try_fast_forward = [&]() -> Cycle {
+    // Memory gate: nothing acceptable queued, no completion due this cycle.
+    if (!mem.ff_quiescent()) return 0;
+    const Cycle completion = mem.next_completion();
+    if (completion <= now) return 0;
+    // Fault gate: no armed event may be due (it would fire on a consult
+    // this cycle) and no steady state may change before the jump target.
+    if (fault != nullptr && fault->ff_blocked(now)) return 0;
+    Cycle target = cfg_.coprocessor.watchdog_cycles;
+    if (completion < target) target = completion;
+    if (fault != nullptr) {
+      const Cycle boundary = fault->next_cycle_boundary(now);
+      if (boundary < target) target = boundary;
+    }
+    if (target <= now) return 0;
+
+    if (!cores_halted) {
+      // Classify every core; any kFail vetoes the jump. An injected fate
+      // (fail-stop, latched stall window) overrides the state machine,
+      // exactly as core_fate() does before step().
+      bool all_idle_steady = true;
+      for (CoreId c = 0; c < n && all_idle_steady; ++c) {
+        all_idle_steady = !sb.busy_raw(c) &&
+                          (fault == nullptr || !fault->stuck_busy_steady(c));
+      }
+      for (CoreId c = 0; c < n; ++c) {
+        GcCore::FfPoll p;
+        const CoreFate fate =
+            fault != nullptr ? fault->steady_fate(c, now) : CoreFate::kRun;
+        if (fate == CoreFate::kStopped) {
+          p.kind = GcCore::FfPoll::Kind::kSkip;
+        } else if (fate == CoreFate::kStall) {
+          p.kind = GcCore::FfPoll::Kind::kStall;
+          p.reason = StallReason::kFault;
+        } else {
+          p = cores[c].ff_poll();
+          if (p.kind == GcCore::FfPoll::Kind::kIdle && all_idle_steady &&
+              sb.stripes_idle()) {
+            return 0;  // the spin ends: this core observes termination now
+          }
+          if (p.kind == GcCore::FfPoll::Kind::kFail &&
+              p.if_suppressed != StallReason::kNone && fault != nullptr &&
+              fault->lock_suppressed_steady(
+                  p.if_suppressed == StallReason::kScanLock ? LockKind::kScan
+                                                            : LockKind::kFree,
+                  now)) {
+            p.kind = GcCore::FfPoll::Kind::kStall;
+            p.reason = p.if_suppressed;
+          }
+          if (p.kind == GcCore::FfPoll::Kind::kFail) return 0;
+        }
+        ff_class[c] = p;
+      }
+      // A lock waiter is steady only while the holder is: the holder must
+      // itself be stalled (memory wait, fault stall) or fail-stopped.
+      for (CoreId c = 0; c < n; ++c) {
+        const GcCore::FfPoll& p = ff_class[c];
+        if (p.kind == GcCore::FfPoll::Kind::kStall && p.blocker != kNoCore) {
+          const auto bk = ff_class[p.blocker].kind;
+          if (bk != GcCore::FfPoll::Kind::kStall &&
+              bk != GcCore::FfPoll::Kind::kSkip) {
+            return 0;
+          }
+        }
+      }
+    }
+
+    // Commit the jump: apply k skipped cycles' effects in bulk.
+    const Cycle k = target - now;
+    if (!cores_halted) {
+      for (CoreId c = 0; c < n; ++c) {
+        const GcCore::FfPoll& p = ff_class[c];
+        switch (p.kind) {
+          case GcCore::FfPoll::Kind::kStall:
+            cores[c].ff_absorb_stall(p.reason, k);
+            break;
+          case GcCore::FfPoll::Kind::kIdle:
+            cores[c].ff_absorb_idle(k);
+            break;
+          default:
+            continue;  // kSkip: counters frozen, signature unchanged
+        }
+        last_sig[c] = cores[c].activity_signature();
+        last_change[c] = target - 1;
+      }
+      if (sb.barrier_generation() > start_gen && sb.worklist_empty()) {
+        stats.worklist_empty_cycles += k;
+      }
+      if (schedule_trace != nullptr) {
+        schedule_trace->record_repeated(now, k, step_order);
+      }
+    }
+    return k;
+  };
+
   try {
   while (true) {
+    if (ff_active) {
+      const Cycle skipped = try_fast_forward();
+      if (skipped > 0) {
+        now += skipped;
+        if (now >= cfg_.coprocessor.watchdog_cycles) {
+          // Mirror the ticked run exactly: its last begin_clock() before
+          // the expiry was for the final (here: skipped) cycle, and the
+          // suspect scan's busy() consults run against that clock.
+          if (fault != nullptr) fault->begin_clock(now - 1);
+          watchdog_abort();
+        }
+      }
+    }
     if (telemetry != nullptr) telemetry->begin_cycle(now);
     if (fault != nullptr) fault->begin_clock(now);
     mem.tick(now);
     if (!cores_halted) {
       sb.begin_cycle();
-      policy->order(now, sb, step_order);
+      if (!fixed_order) policy->order(now, sb, step_order);
       if (schedule_trace != nullptr) schedule_trace->record(now, step_order);
       for (CoreId c : step_order) {
         if (fault != nullptr) {
@@ -114,17 +273,25 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
             cores[c].note_fault_stall();
             continue;
           }
+        } else if (core_done[c] != 0) {
+          continue;  // fault-free: a finished core's step is a no-op
         }
         cores[c].step(now);
       }
       for (CoreId c = 0; c < n; ++c) {
+        if (core_done[c] != 0) {
+          if (fault == nullptr) continue;  // signature frozen once done
+        } else if (cores[c].done()) {
+          core_done[c] = 1;
+          ++done_count;
+        }
         const Cycle sig = cores[c].activity_signature();
         if (sig != last_sig[c]) {
           last_sig[c] = sig;
           last_change[c] = now;
         }
       }
-      cores_halted = all_done();
+      cores_halted = done_count == n;
       if (cores_halted) halted_at = now;
       if (telemetry != nullptr) {
         if (!tel_in_scan_phase && sb.barrier_generation() > start_gen) {
@@ -167,36 +334,7 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
                          cfg_.coprocessor.skip_store_drain_for_test)) {
       break;  // flush complete (or deliberately defeated by a test)
     }
-    if (now >= cfg_.coprocessor.watchdog_cycles) {
-      // Localize a suspect before aborting. First preference: a ScanState
-      // bit that reads busy while the core's architectural bit is clear
-      // (stuck-at-1 fault). Second: the unfinished core whose activity
-      // signature has been frozen the longest — a core that missed its
-      // clock for an eighth of the whole budget is fail-stopped, not slow.
-      CoreId suspect = kNoCore;
-      for (CoreId c = 0; c < n && suspect == kNoCore; ++c) {
-        if (sb.busy(c) && !sb.busy_raw(c)) suspect = c;
-      }
-      if (suspect == kNoCore) {
-        Cycle worst = cfg_.coprocessor.watchdog_cycles / 8;
-        for (CoreId c = 0; c < n; ++c) {
-          if (cores[c].done()) continue;
-          const Cycle stale = now - last_change[c];
-          if (stale > worst) {
-            worst = stale;
-            suspect = c;
-          }
-        }
-      }
-      throw CollectionAbort(AbortReason::kWatchdog,
-                            "GC coprocessor watchdog expired after " +
-                                std::to_string(now) + " cycles" +
-                                (suspect == kNoCore
-                                     ? std::string{}
-                                     : ", suspect core " +
-                                           std::to_string(suspect)),
-                            suspect, now);
-    }
+    if (now >= cfg_.coprocessor.watchdog_cycles) watchdog_abort();
   }
   } catch (const CollectionAbort& abort) {
     // Close the telemetry epoch before propagating so the aborted attempt

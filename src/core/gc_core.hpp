@@ -65,6 +65,40 @@ class GcCore {
            counters_.total_stalls();
   }
 
+  // --- fast-forward support (DESIGN.md §13) -------------------------------
+
+  /// Core-local quiescence classification. A core is quiescent when every
+  /// upcoming step() until some external event is an exact repetition with
+  /// a precomputable effect:
+  ///   kSkip  — done: step() is a no-op, counters frozen;
+  ///   kStall — stalls with `reason` every cycle; when the stall is on a
+  ///            lock, `blocker` names the holder, who must be quiescent
+  ///            too for the wait to be steady;
+  ///   kIdle  — spins on an empty worklist (idle_cycles advances); the
+  ///            caller must still rule out the termination transition and
+  ///            stripe work (they need fault-steady global views);
+  ///   kFail  — the next step makes progress or mutates shared state: the
+  ///            cycle must be executed normally.
+  /// Pure: consults no fault hooks and mutates nothing. Fault fates
+  /// (stall windows, fail-stop) override this in the clock loop.
+  struct FfPoll {
+    enum class Kind : std::uint8_t { kFail, kSkip, kStall, kIdle };
+    Kind kind = Kind::kFail;
+    StallReason reason = StallReason::kNone;
+    CoreId blocker = kNoCore;
+    /// kFail while an uncontended scan/free lock acquisition is the only
+    /// obstacle: an injected steady grant suppression turns these into
+    /// kStall(kScanLock/kFreeLock). kNone otherwise.
+    StallReason if_suppressed = StallReason::kNone;
+  };
+  FfPoll ff_poll() const;
+
+  /// Applies `k` cycles of the classified steady behavior in one step.
+  void ff_absorb_stall(StallReason r, Cycle k) noexcept {
+    counters_.stalls[static_cast<std::size_t>(r)] += k;
+  }
+  void ff_absorb_idle(Cycle k) noexcept { counters_.idle_cycles += k; }
+
  private:
   enum class State : std::uint8_t {
     // Root phase (core 0) / start barrier (all cores).

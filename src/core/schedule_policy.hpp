@@ -57,6 +57,20 @@ class ScheduleTrace {
     ring_.emplace_back(now, order);
   }
 
+  /// Equivalent of `count` consecutive record() calls for cycles
+  /// [first, first+count) that all step the same `order` — the fast-forward
+  /// path's way of keeping the ring and the recorded count bit-identical
+  /// to a ticked run without materializing the skipped cycles.
+  void record_repeated(Cycle first, Cycle count,
+                       const std::vector<CoreId>& order) {
+    recorded_ += count;
+    Cycle i = count > capacity_ ? count - capacity_ : 0;
+    for (; i < count; ++i) {
+      if (ring_.size() >= capacity_) ring_.pop_front();
+      ring_.emplace_back(first + i, order);
+    }
+  }
+
   std::uint64_t cycles_recorded() const noexcept { return recorded_; }
   const std::deque<std::pair<Cycle, std::vector<CoreId>>>& orders() const {
     return ring_;

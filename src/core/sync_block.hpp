@@ -98,6 +98,25 @@ class SyncBlock {
     return header_locks_[core].has_value();
   }
 
+  /// Sentinel for "no core" in the owner accessors below.
+  static constexpr CoreId kNoOwner = ~CoreId{0};
+
+  /// Current scan-/free-lock owner, kNoOwner when free. Pure reads for the
+  /// clock loop's quiescence classification (fast-forward): a core stalled
+  /// on one of these locks is quiescent exactly while the owner is.
+  CoreId scan_owner() const noexcept { return scan_owner_; }
+  CoreId free_owner() const noexcept { return free_owner_; }
+
+  /// CAM lookup without acquisition: which other core's header-lock
+  /// register holds `addr`? kNoOwner when none (the acquisition would
+  /// succeed). Pure; never fires fault hooks.
+  CoreId header_lock_holder(CoreId self, Addr addr) const noexcept {
+    for (CoreId other = 0; other < num_cores(); ++other) {
+      if (other != self && header_locks_[other] == addr) return other;
+    }
+    return kNoOwner;
+  }
+
   // --- ScanState (termination detection) ----------------------------------
 
   void set_busy(CoreId core, bool b) noexcept { busy_[core] = b; }
@@ -160,6 +179,19 @@ class SyncBlock {
   /// extended termination condition).
   bool stripes_idle() const noexcept;
 
+  /// True when a stripe_grab() would hand out work: some active job still
+  /// has undispensed stripes. Pure mirror of stripe_grab's scan, for the
+  /// quiescence classification (an idle core would grab, not spin).
+  bool stripe_work_available() const noexcept {
+    for (std::uint32_t s = 0; s < kStripeSlots; ++s) {
+      if (stripe_slot_active_[s] &&
+          stripe_slots_[s].next_offset < delta_of(stripe_slots_[s].attrs)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   const StripeJob& stripe_slot(std::uint32_t slot) const {
     return stripe_slots_[slot];
   }
@@ -174,6 +206,14 @@ class SyncBlock {
   /// arrival bits reset. Idempotent per generation.
   void barrier_arrive(CoreId core);
 
+  /// True when `core` has already arrived at the pending barrier. A
+  /// barrier-stalled core that has arrived is quiescent (re-arrival is
+  /// idempotent); one that has not would mutate the barrier on its next
+  /// step, so fast-forward must let that cycle run.
+  bool barrier_arrived(CoreId core) const noexcept {
+    return barrier_arrived_[core] != 0;
+  }
+
   // --- lock-order audit ----------------------------------------------------
 
   const std::vector<std::string>& violations() const noexcept {
@@ -182,8 +222,6 @@ class SyncBlock {
 
  private:
   void audit(CoreId core, const char* acquiring);
-
-  static constexpr CoreId kNoOwner = ~CoreId{0};
 
   FaultInjector* fault_ = nullptr;
   TelemetryBus* tel_ = nullptr;

@@ -149,6 +149,103 @@ bool FaultInjector::busy_stuck(CoreId logical) {
   return stuck;
 }
 
+namespace {
+
+/// Cycle-triggered fault kinds — the ones whose firing depends on the
+/// clock rather than on a memory-transaction count. when_holding_free
+/// fail-stops are condition-triggered (they fire at a free-lock grant,
+/// which never happens during a quiescent window) and are excluded.
+bool cycle_triggered(const FaultEvent& e) noexcept {
+  switch (e.kind) {
+    case FaultKind::kCoreStall:
+    case FaultKind::kStuckBusy:
+    case FaultKind::kLockDelay:
+      return true;
+    case FaultKind::kCoreFailStop:
+      return !e.when_holding_free;
+    default:
+      return false;
+  }
+}
+
+/// Does the event describe a [trigger, trigger+param) window (as opposed
+/// to a latch-forever onset at trigger)?
+bool windowed(const FaultEvent& e) noexcept {
+  return e.kind == FaultKind::kCoreStall || e.kind == FaultKind::kLockDelay;
+}
+
+}  // namespace
+
+bool FaultInjector::ff_blocked(Cycle now) const noexcept {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (!state_[i].armed || !cycle_triggered(e)) continue;
+    if (now < e.trigger) continue;
+    if (windowed(e) && now >= e.trigger + e.param) continue;
+    return true;  // would fire on its next consult — run this cycle live
+  }
+  return false;
+}
+
+Cycle FaultInjector::next_cycle_boundary(Cycle now) const noexcept {
+  Cycle next = ~Cycle{0};
+  const auto consider = [&next, now](Cycle boundary) {
+    if (boundary > now && boundary < next) next = boundary;
+  };
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (!cycle_triggered(e)) continue;
+    const EventState& s = state_[i];
+    if (s.armed) consider(e.trigger);
+    if (windowed(e) && (s.armed || s.latched)) consider(e.trigger + e.param);
+  }
+  return next;
+}
+
+CoreFate FaultInjector::steady_fate(CoreId logical, Cycle now) const noexcept {
+  if (logical >= logical_to_physical_.size()) return CoreFate::kRun;
+  const CoreId physical = logical_to_physical_[logical];
+  CoreFate fate = CoreFate::kRun;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.target_core != physical || !state_[i].latched) continue;
+    if (e.kind == FaultKind::kCoreStall) {
+      if (now >= e.trigger && now < e.trigger + e.param &&
+          fate == CoreFate::kRun) {
+        fate = CoreFate::kStall;
+      }
+    } else if (e.kind == FaultKind::kCoreFailStop) {
+      fate = CoreFate::kStopped;  // same precedence as core_fate()
+    }
+  }
+  return fate;
+}
+
+bool FaultInjector::stuck_busy_steady(CoreId logical) const noexcept {
+  if (logical >= logical_to_physical_.size()) return false;
+  const CoreId physical = logical_to_physical_[logical];
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.kind == FaultKind::kStuckBusy && e.target_core == physical &&
+        state_[i].latched) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::lock_suppressed_steady(LockKind lock,
+                                           Cycle now) const noexcept {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& e = plan_.events[i];
+    if (e.kind == FaultKind::kLockDelay && e.lock == lock &&
+        state_[i].latched && now >= e.trigger && now < e.trigger + e.param) {
+      return true;
+    }
+  }
+  return false;
+}
+
 CoreFate FaultInjector::core_fate(CoreId logical, bool holds_free) {
   if (logical >= logical_to_physical_.size()) return CoreFate::kRun;
   const CoreId physical = logical_to_physical_[logical];

@@ -89,6 +89,39 @@ class FaultInjector {
   /// fail-stop events conditioned on the free critical section.
   CoreFate core_fate(CoreId logical, bool holds_free);
 
+  // --- pure steady-state views (fast-forward classification) --------------
+  //
+  // The clock loop's fast-forward must decide whether upcoming cycles are
+  // observationally steady WITHOUT consulting the mutating hooks above
+  // (a consult can fire an event, which is itself observable). These const
+  // views expose only latched state plus the future cycle boundaries at
+  // which the steady state would change; the classification refuses to
+  // skip any cycle on which an armed event could fire (ff_blocked) and
+  // clamps every jump to the next boundary, so armed events always fire on
+  // normally executed cycles — at exactly the cycle a ticked run fires
+  // them.
+
+  /// True when some armed, not-yet-fired cycle-triggered event is already
+  /// due at `now` (it would fire on the next consult): the current cycle
+  /// must be executed normally, never skipped.
+  bool ff_blocked(Cycle now) const noexcept;
+
+  /// Next cycle boundary strictly after `now` at which any cycle-triggered
+  /// event's steady behavior changes: an armed trigger (window entry /
+  /// fail-stop / stuck-busy onset) or a window exit of an armed-or-latched
+  /// kCoreStall / kLockDelay. ~Cycle{0} when none.
+  Cycle next_cycle_boundary(Cycle now) const noexcept;
+
+  /// core_fate() restricted to latched events — the fate every consult in
+  /// [now, next boundary) returns, with no event able to fire (pure).
+  CoreFate steady_fate(CoreId logical, Cycle now) const noexcept;
+
+  /// busy_stuck() restricted to latched events (pure).
+  bool stuck_busy_steady(CoreId logical) const noexcept;
+
+  /// lock_grant_suppressed() restricted to latched events (pure).
+  bool lock_suppressed_steady(LockKind lock, Cycle now) const noexcept;
+
   // --- accounting ----------------------------------------------------------
 
   const FaultPlan& plan() const noexcept { return plan_; }

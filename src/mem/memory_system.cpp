@@ -54,6 +54,18 @@ void MemorySystem::issue_load(CoreId core, Port port, Addr addr) {
 }
 
 void MemorySystem::tick(Cycle now) {
+  // Idle early-out: with nothing queued or in flight the retire and accept
+  // passes are no-ops, so skip them (idle components cost nothing). Only
+  // the sample-on-change telemetry contract must still be honored: the
+  // first idle tick after activity (or ever) publishes the 0.
+  if (queue_.empty() && inflight_header_.empty() &&
+      inflight_header_fast_.empty() && inflight_body_.empty()) {
+    if (tel_ != nullptr && tel_prev_inflight_ != 0) {
+      tel_prev_inflight_ = 0;
+      tel_->counter_sample(tel_inflight_series_, 0);
+    }
+    return;
+  }
   // 1. Retire transactions whose latency has elapsed. Within each port
   //    class acceptance order is completion order (constant per-class
   //    latency), so only the fronts can retire — unless latency jitter is

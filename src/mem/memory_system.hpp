@@ -101,6 +101,39 @@ class MemorySystem {
            inflight_header_fast_.empty() && inflight_body_.empty();
   }
 
+  /// Sentinel returned by next_completion() when nothing is in flight.
+  static constexpr Cycle kNever = ~Cycle{0};
+
+  /// True when the next tick would accept nothing: the queue is empty or
+  /// holds only header loads held back by the comparator array. Ticks are
+  /// then pure waiting until the next completion — the memory-side
+  /// precondition for fast-forwarding the clock.
+  bool ff_quiescent() const noexcept {
+    for (const Request& r : queue_) {
+      if (r.op != MemOp::kLoad || r.port != Port::kHeader ||
+          !header_store_uncommitted(r.addr)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Earliest complete_at over every in-flight transaction (ghost replays
+  /// included — they mutate memory when they retire); kNever when nothing
+  /// is in flight. The first cycle whose tick is not a pure no-op.
+  Cycle next_completion() const noexcept {
+    Cycle t = kNever;
+    const auto scan = [&t](const std::deque<Inflight>& q) {
+      for (const Inflight& f : q) {
+        if (f.complete_at < t) t = f.complete_at;
+      }
+    };
+    scan(inflight_header_);
+    scan(inflight_header_fast_);
+    scan(inflight_body_);
+    return t;
+  }
+
   std::uint64_t requests_issued() const noexcept { return requests_; }
   std::uint64_t header_cache_hits() const noexcept { return cache_hits_; }
   std::uint64_t header_cache_misses() const noexcept { return cache_misses_; }

@@ -168,16 +168,22 @@ HeapService::HeapService(const ServiceConfig& cfg)
   for (std::size_t i = 0; i < cfg_.shards; ++i) {
     shards_.push_back(std::make_unique<ShardState>(i, cfg_));
   }
+  fleet_size_view_.resize(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    fleet_size_view_[i].shard = i;
+  }
+  rebuild_pool();
 }
 
 HeapService::~HeapService() = default;
 
-std::vector<Cycle> HeapService::next_free_view() const {
-  std::vector<Cycle> v(shards_.size());
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    v[i] = shards_[i]->next_free;
-  }
-  return v;
+void HeapService::rebuild_pool() {
+  // One lane per shard. A telemetry bus is shared mutable state across
+  // every shard's runtime, so its presence forces the inline (serial)
+  // engine; serve() fully drains before returning, so swapping engines
+  // between serves is safe.
+  const std::size_t threads = telemetry_attached_ ? 1 : cfg_.host_threads;
+  pool_ = std::make_unique<ShardPool>(cfg_.shards, threads);
 }
 
 ShardObservation HeapService::observe(std::size_t shard) const {
@@ -214,67 +220,112 @@ void HeapService::run_scheduled_collection(ShardState& shard, Cycle at) {
   ++shard.stats.scheduled_collections;
 }
 
+/// Everything that touches only the target shard's state — runs on the
+/// shard's pool lane (or inline in serial mode). `req.arrival` is final by
+/// the time this executes; the lane's FIFO order makes the shard see the
+/// exact serial sequence of collections and requests.
+void HeapService::execute_request(ShardState& sh, const Request& req) {
+  ++sh.stats.offered;
+  const Cycle start = std::max(req.arrival, sh.next_free);
+  const Cycle wait = start - req.arrival;
+  // Collection debt from earlier dispatches drains into this request's
+  // stall component — charged to at most one request, never two. The
+  // shard is a FIFO server, so by `start` its queue (GC included) has
+  // fully drained: whatever debt this wait did not cover elapsed before
+  // the request arrived and delayed nobody. That discarded remainder is
+  // precisely the GC a proactive scheduler hides in idle time.
+  const Cycle inherited_stall = std::min(wait, sh.gc_backlog);
+  sh.gc_backlog = 0;
+
+  sh.pending_gc = 0;
+  std::uint32_t steps = 0;
+  std::size_t read_words = 0;
+  if (req.kind == RequestKind::kRead) {
+    std::size_t mismatches = 0;
+    read_words = sh.mutator.probe(sh.rt, &mismatches);
+    sh.stats.read_mismatches += mismatches;
+  } else {
+    steps = steps_for(req.kind, traffic_.config().steps_per_request);
+    for (std::uint32_t i = 0; i < steps; ++i) sh.mutator.step(sh.rt);
+  }
+  // Cycles of exhaustion-triggered collection during this request's own
+  // execution (harvested from the observer).
+  const Cycle own_gc = sh.take_pending_gc();
+  const Cycle service = traffic_.service_cost(steps, read_words);
+  const Cycle total = wait + own_gc + service;
+
+  sh.next_free = start + own_gc + service;
+  ++sh.stats.completed;
+  ++sh.requests_since_gc;
+  sh.stats.latency.record(total);
+  sh.stats.service_cycles += service;
+  sh.stats.queue_cycles += wait - inherited_stall;
+  sh.stats.stall_cycles += inherited_stall + own_gc;
+  if (cfg_.slo_cycles > 0 && total > cfg_.slo_cycles) {
+    ++sh.stats.slo_violations;
+  }
+}
+
 void HeapService::serve(std::uint64_t requests) {
+  // Conductor loop (DESIGN.md §13). The conductor owns every cross-shard
+  // decision — traffic RNG, virtual clock, admission, scheduling — in
+  // strict request order, and ships shard-local work to the shards' FIFO
+  // lanes. It joins a lane exactly where the serial engine would read that
+  // shard's state: closed-loop arrival sampling and admission control join
+  // the target shard; a kFull scheduler observation joins the whole fleet.
+  // With host_threads <= 1 every submit runs inline, reproducing the
+  // serial engine verbatim.
+  const ObservationNeeds needs = scheduler_->needs();
   for (std::uint64_t n = 0; n < requests; ++n) {
-    const Request req = traffic_.next(next_free_view());
+    Request req = traffic_.draw();
+    if (!traffic_.config().open_loop) {
+      pool_->join(req.shard);
+      traffic_.finalize_closed(req, shards_[req.shard]->next_free);
+    }
     if (req.arrival > now_) now_ = req.arrival;
     ++offered_;
     ShardState& sh = *shards_[req.shard];
-    ++sh.stats.offered;
 
     // Admission control: shed instead of queueing past the debt bound.
-    const Cycle backlog =
-        sh.next_free > req.arrival ? sh.next_free - req.arrival : 0;
-    if (cfg_.max_backlog > 0 && backlog > cfg_.max_backlog) {
-      ++sh.stats.rejected;
-      continue;
+    // Joined above for closed-loop traffic; open-loop joins here.
+    if (cfg_.max_backlog > 0) {
+      pool_->join(req.shard);
+      const Cycle backlog =
+          sh.next_free > req.arrival ? sh.next_free - req.arrival : 0;
+      if (backlog > cfg_.max_backlog) {
+        ++sh.stats.offered;
+        ++sh.stats.rejected;
+        continue;
+      }
     }
 
     // One scheduling decision per dispatch — the scheduler may collect any
-    // shard, not just the one this request lands on.
-    if (const auto pick = scheduler_->pick(observations(req.arrival))) {
-      run_scheduled_collection(*shards_[*pick], req.arrival);
+    // shard, not just the one this request lands on. Policies that do not
+    // read live shard state skip both the fleet join and the observation
+    // build (the big O(shards)-per-request cost at 1000-shard scale).
+    std::optional<std::size_t> pick;
+    switch (needs) {
+      case ObservationNeeds::kNone:
+        pick = scheduler_->pick(fleet_size_view_);
+        break;
+      case ObservationNeeds::kFleetSize:
+        pick = scheduler_->pick(fleet_size_view_);
+        break;
+      case ObservationNeeds::kFull:
+        pool_->join_all();
+        pick = scheduler_->pick(observations(req.arrival));
+        break;
+    }
+    if (pick) {
+      ShardState& target = *shards_[*pick];
+      const Cycle at = req.arrival;
+      pool_->submit(*pick,
+                    [this, &target, at] { run_scheduled_collection(target, at); });
     }
 
-    const Cycle start = std::max(req.arrival, sh.next_free);
-    const Cycle wait = start - req.arrival;
-    // Collection debt from earlier dispatches drains into this request's
-    // stall component — charged to at most one request, never two. The
-    // shard is a FIFO server, so by `start` its queue (GC included) has
-    // fully drained: whatever debt this wait did not cover elapsed before
-    // the request arrived and delayed nobody. That discarded remainder is
-    // precisely the GC a proactive scheduler hides in idle time.
-    const Cycle inherited_stall = std::min(wait, sh.gc_backlog);
-    sh.gc_backlog = 0;
-
-    sh.pending_gc = 0;
-    std::uint32_t steps = 0;
-    std::size_t read_words = 0;
-    if (req.kind == RequestKind::kRead) {
-      std::size_t mismatches = 0;
-      read_words = sh.mutator.probe(sh.rt, &mismatches);
-      sh.stats.read_mismatches += mismatches;
-    } else {
-      steps = steps_for(req.kind, traffic_.config().steps_per_request);
-      for (std::uint32_t i = 0; i < steps; ++i) sh.mutator.step(sh.rt);
-    }
-    // Cycles of exhaustion-triggered collection during this request's own
-    // execution (harvested from the observer).
-    const Cycle own_gc = sh.take_pending_gc();
-    const Cycle service = traffic_.service_cost(steps, read_words);
-    const Cycle total = wait + own_gc + service;
-
-    sh.next_free = start + own_gc + service;
-    ++sh.stats.completed;
-    ++sh.requests_since_gc;
-    sh.stats.latency.record(total);
-    sh.stats.service_cycles += service;
-    sh.stats.queue_cycles += wait - inherited_stall;
-    sh.stats.stall_cycles += inherited_stall + own_gc;
-    if (cfg_.slo_cycles > 0 && total > cfg_.slo_cycles) {
-      ++sh.stats.slo_violations;
-    }
+    pool_->submit(req.shard, [this, &sh, req] { execute_request(sh, req); });
   }
+  pool_->join_all();
 }
 
 const SloStats& HeapService::shard_stats(std::size_t shard) const {
@@ -315,6 +366,11 @@ std::size_t HeapService::validate_all_shards() {
 
 void HeapService::set_telemetry(TelemetryBus* bus) {
   for (auto& s : shards_) s->rt.set_telemetry(bus);
+  const bool attached = bus != nullptr;
+  if (attached != telemetry_attached_) {
+    telemetry_attached_ = attached;
+    rebuild_pool();
+  }
 }
 
 }  // namespace hwgc

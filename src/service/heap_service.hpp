@@ -30,7 +30,11 @@
 // Time is virtual (simulated clock cycles): request interarrivals and
 // service costs come from the seeded traffic model, collection durations
 // from the cycle-accurate coprocessor simulation. The whole service is
-// bit-deterministic from its seeds, across scheduler policies.
+// bit-deterministic from its seeds, across scheduler policies — AND across
+// host thread counts: with host_threads > 1 shard work executes on a
+// ShardPool (per-shard FIFO lanes, DESIGN.md §13) while a serial conductor
+// keeps every cross-shard decision in request order, so parallel output is
+// byte-identical to serial (tests/test_service_parallel.cpp).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +48,7 @@
 #include "service/slo.hpp"
 #include "service/traffic.hpp"
 #include "sim/config.hpp"
+#include "sim/shard_pool.hpp"
 #include "workloads/mutator.hpp"
 
 namespace hwgc {
@@ -82,6 +87,15 @@ struct ServiceConfig {
   std::size_t fault_shard = kNoShard;
   std::uint32_t fault_events = 0;
   std::uint64_t fault_seed = 1;
+
+  /// Host threads executing shard work (simulation, not virtual time).
+  /// <= 1 runs everything inline on the caller's thread — the serial
+  /// reference engine. Any thread count produces byte-identical output
+  /// (enforced by tests/test_service_parallel.cpp): shards share nothing,
+  /// tasks for one shard run FIFO, and the conductor joins at every data
+  /// dependency. Ignored (forced serial) while a telemetry bus is
+  /// attached, because one bus is shared by every shard.
+  std::size_t host_threads = 1;
 };
 
 class HeapService {
@@ -133,9 +147,10 @@ class HeapService {
  private:
   struct ShardState;
 
-  std::vector<Cycle> next_free_view() const;
   std::vector<ShardObservation> observations(Cycle at) const;
   void run_scheduled_collection(ShardState& shard, Cycle at);
+  void execute_request(ShardState& shard, const Request& req);
+  void rebuild_pool();
 
   ServiceConfig cfg_;
   TrafficModel traffic_;
@@ -143,6 +158,16 @@ class HeapService {
   std::vector<std::unique_ptr<ShardState>> shards_;
   Cycle now_ = 0;
   std::uint64_t offered_ = 0;
+  bool telemetry_attached_ = false;
+
+  /// Placeholder fleet view for ObservationNeeds::kFleetSize policies:
+  /// only .shard is populated (built once; the contract in scheduler.hpp
+  /// forbids such policies from reading anything else).
+  std::vector<ShardObservation> fleet_size_view_;
+
+  /// Declared last so workers are joined (and the pool drained) before any
+  /// shard state is destroyed.
+  std::unique_ptr<ShardPool> pool_;
 };
 
 }  // namespace hwgc

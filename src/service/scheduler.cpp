@@ -21,6 +21,9 @@ class ReactiveScheduler final : public GcScheduler {
   GcSchedulerKind kind() const noexcept override {
     return GcSchedulerKind::kReactive;
   }
+  ObservationNeeds needs() const noexcept override {
+    return ObservationNeeds::kNone;
+  }
   std::optional<std::size_t> pick(
       const std::vector<ShardObservation>&) override {
     return std::nullopt;
@@ -60,6 +63,9 @@ class RoundRobinScheduler final : public GcScheduler {
   explicit RoundRobinScheduler(const SchedulerConfig& cfg) : cfg_(cfg) {}
   GcSchedulerKind kind() const noexcept override {
     return GcSchedulerKind::kRoundRobin;
+  }
+  ObservationNeeds needs() const noexcept override {
+    return ObservationNeeds::kFleetSize;
   }
   std::optional<std::size_t> pick(
       const std::vector<ShardObservation>& fleet) override {

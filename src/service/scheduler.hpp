@@ -74,6 +74,16 @@ struct SchedulerConfig {
   std::uint64_t round_robin_period = 256;
 };
 
+/// How much of the fleet a policy actually reads at each decision point.
+/// The parallel conductor (heap_service.cpp, DESIGN.md §13) uses this to
+/// skip building observations — and, for kFull, to know it must join every
+/// shard lane first, since a full observation reads live shard state.
+enum class ObservationNeeds : std::uint8_t {
+  kNone = 0,   ///< pick() ignores the fleet entirely
+  kFleetSize,  ///< pick() reads only fleet.size() and fleet[i].shard
+  kFull,       ///< pick() reads per-shard occupancy/backlog/etc.
+};
+
 /// One decision point per request dispatch: return the shard to collect
 /// now, or nullopt to let allocation exhaustion take its course.
 class GcScheduler {
@@ -81,6 +91,13 @@ class GcScheduler {
   virtual ~GcScheduler() = default;
   virtual GcSchedulerKind kind() const noexcept = 0;
   const char* name() const noexcept { return to_string(kind()); }
+
+  /// Contract: a policy returning less than kFull must not read the fields
+  /// its tier excludes — the service passes placeholder observations then.
+  virtual ObservationNeeds needs() const noexcept {
+    return ObservationNeeds::kFull;
+  }
+
   virtual std::optional<std::size_t> pick(
       const std::vector<ShardObservation>& fleet) = 0;
 };

@@ -21,7 +21,7 @@ TrafficModel::TrafficModel(const TrafficConfig& cfg, std::size_t shards)
   if (!cfg_.open_loop) session_ready_.assign(cfg_.sessions, 0);
 }
 
-Request TrafficModel::next(const std::vector<Cycle>& shard_next_free) {
+Request TrafficModel::draw() {
   Request r;
   r.id = next_id_++;
   r.session = static_cast<std::uint32_t>(rng_.below(cfg_.sessions));
@@ -47,13 +47,24 @@ Request TrafficModel::next(const std::vector<Cycle>& shard_next_free) {
                               load));
     clock_ += 1 + rng_.below(2 * mean > 1 ? 2 * mean - 1 : 1);
     r.arrival = clock_;
-  } else {
-    // Closed loop: the session waits for its previous request AND its
-    // shard's backlog to drain before issuing the next one.
-    const Cycle shard_free =
-        r.shard < shard_next_free.size() ? shard_next_free[r.shard] : 0;
-    r.arrival = std::max(session_ready_[r.session], shard_free);
-    session_ready_[r.session] = r.arrival + 1;
+  }
+  return r;
+}
+
+void TrafficModel::finalize_closed(Request& r, Cycle shard_free) {
+  if (cfg_.open_loop) return;
+  // Closed loop: the session waits for its previous request AND its
+  // shard's backlog to drain before issuing the next one.
+  r.arrival = std::max(session_ready_[r.session], shard_free);
+  session_ready_[r.session] = r.arrival + 1;
+}
+
+Request TrafficModel::next(const std::vector<Cycle>& shard_next_free) {
+  Request r = draw();
+  if (!cfg_.open_loop) {
+    finalize_closed(r, r.shard < shard_next_free.size()
+                           ? shard_next_free[r.shard]
+                           : 0);
   }
   return r;
 }

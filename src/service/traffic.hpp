@@ -97,7 +97,23 @@ class TrafficModel {
 
   /// Draws the next request. `shard_next_free[s]` is the cycle shard s
   /// drains its current backlog (closed-loop arrivals latch onto it).
+  /// Equivalent to draw() + finalize_closed() — kept for callers that hold
+  /// the whole fleet view.
   Request next(const std::vector<Cycle>& shard_next_free);
+
+  /// First half of next(): everything derived from the RNG alone (session,
+  /// shard affinity, kind, open-loop arrival). In closed-loop mode the
+  /// returned request is NOT finished — its arrival must be latched with
+  /// finalize_closed() once the target shard's drain time is known. The
+  /// split lets the parallel conductor draw requests without a fleet-wide
+  /// synchronization point: only the target shard's lane must be joined
+  /// (DESIGN.md §13).
+  Request draw();
+
+  /// Second half for closed-loop mode: latches `r.arrival` onto
+  /// max(session ready time, `shard_free` of r.shard) and advances the
+  /// session gate. No-op in open-loop mode (draw() already set arrival).
+  void finalize_closed(Request& r, Cycle shard_free);
 
   /// Service cost of executing `steps` mutator steps + `read_words` probe
   /// words for one request.

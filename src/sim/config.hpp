@@ -121,6 +121,17 @@ struct CoprocessorConfig {
   /// Record a per-cycle signal trace (costly; for debugging/inspection).
   bool enable_trace = false;
 
+  /// Event-driven fast-forward of the clock loop: when every core is
+  /// quiescent (done, fail-stopped, or stalled on a condition only a
+  /// future memory completion / fault window / watchdog boundary can
+  /// change) the clock jumps to the next such event instead of ticking.
+  /// Observationally invisible — GcCycleStats, ScheduleTrace, SignalTrace
+  /// and watchdog behavior are bit-identical to the ticked run (enforced
+  /// by tests/test_fast_forward.cpp; invariants in DESIGN.md §13).
+  /// Automatically bypassed when a telemetry bus is attached or a
+  /// non-fixed schedule policy is active.
+  bool fast_forward = true;
+
   /// Watchdog: abort a collection cycle that exceeds this many clock
   /// cycles. With a fault-free coprocessor this is a modeling-bug backstop
   /// (the algorithm is deadlock-free); under fault injection the recovery

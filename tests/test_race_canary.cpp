@@ -1,0 +1,43 @@
+// Negative canary for the TSan CI job: a deliberately-racy "shard" that
+// mutates shared state outside its own arena, gated behind HWGC_TEST_RACE
+// so it never pollutes a normal test run. The tsan-torture CI job runs
+// this binary with HWGC_TEST_RACE=1 under ThreadSanitizer and asserts
+// that it FAILS (TSan's default exit code on a detected race is 66) —
+// proving the race hunt would actually catch a shard that escaped its
+// isolation, rather than silently passing an instrumentation-less build.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/shard_pool.hpp"
+
+namespace hwgc {
+namespace {
+
+// Plain shared counter — the bug under test. Two pool lanes write it with
+// no synchronization, which is exactly the cross-shard mutation the
+// service architecture forbids.
+std::uint64_t g_shared_counter = 0;  // NOLINT: intentional race target
+
+TEST(RaceCanary, CrossShardMutationIsARace) {
+  if (std::getenv("HWGC_TEST_RACE") == nullptr) {
+    GTEST_SKIP() << "set HWGC_TEST_RACE=1 to run the deliberate race "
+                    "(expected to FAIL under TSan)";
+  }
+  ShardPool pool(2, 2);
+  ASSERT_TRUE(pool.parallel());
+  for (int t = 0; t < 64; ++t) {
+    for (std::size_t lane = 0; lane < 2; ++lane) {
+      pool.submit(lane, [] {
+        for (int i = 0; i < 4096; ++i) ++g_shared_counter;
+      });
+    }
+  }
+  pool.join_all();
+  // No value assertion: the count is indeterminate by construction. The
+  // failure signal is ThreadSanitizer's, not gtest's.
+  SUCCEED() << "counter=" << g_shared_counter;
+}
+
+}  // namespace
+}  // namespace hwgc
