@@ -109,6 +109,33 @@ void BM_ServeWithOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeWithOracle);
 
+/// The resilience layer's cost on the dispatch path: supervision joins the
+/// home lane and runs the health state machine on every request; arg 1
+/// adds a quarter-fleet fault storm with failover routing on top. Compare
+/// against BM_ServeReactive/4 for the supervision-off baseline.
+void BM_ServeResilient(benchmark::State& state) {
+  const bool stormed = state.range(0) != 0;
+  constexpr std::uint64_t kRequests = 2000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ServiceConfig cfg = service_config(4, GcSchedulerKind::kReactive);
+    cfg.resilience.supervise = true;
+    cfg.resilience.deadline_cycles = 1u << 16;
+    if (stormed) {
+      cfg.storm.shard_fraction = 0.25;
+      cfg.storm.events_per_collection = 2;
+    }
+    HeapService service(cfg);
+    state.ResumeTiming();
+    service.serve(kRequests);
+    benchmark::DoNotOptimize(service.fleet_stats().completed);
+    state.PauseTiming();
+    report(state, service, kRequests);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_ServeResilient)->Arg(0)->Arg(1);
+
 // --- CI perf-baseline harness (--json mode) --------------------------------
 
 struct SweepOptions {

@@ -32,6 +32,10 @@
 //     --shards=N        fleet size; 0 (default) keeps the classic panel
 //     --scheduler=NAME  reactive | proactive | roundrobin (default
 //                       proactive)
+//     --storm=PCT       fault-storm PCT% of the fleet (stormed shards are
+//                       marked *storm in the panel)
+//     --supervise       health supervision + checkpoint/restore; the panel
+//                       grows a health column and a transition ticker
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -58,6 +62,8 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::uint32_t faults = 0;
   std::uint32_t shards = 0;
+  std::uint32_t storm_pct = 0;   ///< --storm=PCT: % of shards fault-stormed
+  bool supervise = false;        ///< --supervise: health + checkpoint/restore
   GcSchedulerKind scheduler = GcSchedulerKind::kProactive;
   bool no_clear = false;
   std::string json_path;
@@ -91,6 +97,10 @@ CliOptions parse(int argc, char** argv) {
       o.faults = v;
     } else if (parse_u32(a, "--shards", v)) {
       o.shards = v;
+    } else if (parse_u32(a, "--storm", v)) {
+      o.storm_pct = v;
+    } else if (a == "--supervise") {
+      o.supervise = true;
     } else if (a.rfind("--scheduler=", 0) == 0) {
       const auto k = parse_scheduler(a.substr(12));
       if (!k.has_value()) {
@@ -244,8 +254,8 @@ void render_fleet(const CliOptions& o, const HeapService& service,
               static_cast<unsigned long long>(fleet.collections),
               static_cast<unsigned long long>(fleet.scheduled_collections),
               static_cast<unsigned long long>(service.now()));
-  std::printf("      %-20s %5s %6s %5s %8s %8s %6s %s\n", "occupancy", "occ%",
-              "roots", "gc", "p50", "p99", "stl%", "oracle");
+  std::printf("      %-20s %5s %6s %5s %8s %8s %6s %-7s %s\n", "occupancy",
+              "occ%", "roots", "gc", "p50", "p99", "stl%", "oracle", "health");
   for (std::size_t i = 0; i < service.shard_count(); ++i) {
     const ShardObservation ob = service.observe(i);
     const SloStats& s = service.shard_stats(i);
@@ -254,13 +264,28 @@ void render_fleet(const CliOptions& o, const HeapService& service,
             ? 100.0 * static_cast<double>(s.stall_cycles) /
                   static_cast<double>(s.latency.sum())
             : 0.0;
-    std::printf("s%-4zu [%s] %4.0f%% %6llu %5llu %8llu %8llu %5.1f%% %s\n", i,
-                occupancy_bar(ob.occupancy, 20).c_str(), 100.0 * ob.occupancy,
-                static_cast<unsigned long long>(ob.live_roots),
-                static_cast<unsigned long long>(s.collections),
-                static_cast<unsigned long long>(s.latency.percentile(0.50)),
-                static_cast<unsigned long long>(s.latency.percentile(0.99)),
-                stall_share, s.oracle_failures == 0 ? "ok" : "FAIL");
+    std::printf(
+        "s%-4zu [%s] %4.0f%% %6llu %5llu %8llu %8llu %5.1f%% %-7s %s%s\n", i,
+        occupancy_bar(ob.occupancy, 20).c_str(), 100.0 * ob.occupancy,
+        static_cast<unsigned long long>(ob.live_roots),
+        static_cast<unsigned long long>(s.collections),
+        static_cast<unsigned long long>(s.latency.percentile(0.50)),
+        static_cast<unsigned long long>(s.latency.percentile(0.99)),
+        stall_share, s.oracle_failures == 0 ? "ok" : "FAIL",
+        to_string(service.shard_health(i)),
+        service.storm().enabled() && service.storm().stormed(i) ? " *storm"
+                                                                : "");
+  }
+  if (service.resilient()) {
+    const std::size_t shown =
+        std::min<std::size_t>(service.health_events().size(), 4);
+    const auto& ev = service.health_events();
+    for (std::size_t k = ev.size() - shown; k < ev.size(); ++k) {
+      std::printf("  [%llu] s%zu %s -> %s (%s)\n",
+                  static_cast<unsigned long long>(ev[k].at), ev[k].shard,
+                  to_string(ev[k].from), to_string(ev[k].to),
+                  ev[k].reason.c_str());
+    }
   }
   std::fflush(stdout);
 }
@@ -278,6 +303,11 @@ int run_service_mode(const CliOptions& o) {
     cfg.fault_events = o.faults;
     cfg.fault_seed = o.seed;
   }
+  if (o.storm_pct > 0) {
+    cfg.storm.shard_fraction = o.storm_pct / 100.0;
+    cfg.storm.seed = o.seed;
+  }
+  cfg.resilience.supervise = o.supervise;
   HeapService service(cfg);
 
   TelemetryBus bus;

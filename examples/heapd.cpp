@@ -42,12 +42,32 @@
 //                       shard (runs it through the recovery machinery)
 //   --fault-shard N     shard receiving the faults (default 0 with --faults)
 //   --fault-seed N      fault plan seed (default 1)
+//   --storm-fraction F  fault-storm: fraction of the fleet taking repeating
+//                       per-collection faults (0 disables; storm shards run
+//                       every collection through the recovery machinery)
+//   --storm-events N    fault events per collection on stormed shards
+//   --storm-seed N      storm plan seed (shard pick, phases, fault streams)
+//   --storm-burst N     burst window length in per-shard arrivals (0 = the
+//                       storm never pauses); --storm-calm N sets the gap
+//   --storm-crashes N   crash every Nth active arrival on a stormed shard
+//                       (requires --supervise)
+//   --supervise         enable health supervision + checkpoint/restore
+//   --deadline N        per-request deadline budget in cycles (enables
+//                       failover routing + load shedding; 0 = none)
+//   --retries N         max failover hops per request (default 2)
+//   --backoff N         retry backoff in cycles per failover hop
+//   --checkpoint-interval N  verified-clean cycles between checkpoints
+//   --restore-cost N    virtual cycles a checkpoint restore occupies
 //   --no-oracle         skip the per-cycle post-structure oracle
 //   --json PATH         write hwgc-bench-v1 (per-shard GC aggregates) +
 //                       hwgc-service-v1 (latency/SLO) JSONL sections
 //   --trace-json PATH   Chrome-trace timeline of the FIRST configuration
 //   -v, --verbose       per-shard table for every configuration
+//
+// Unknown options and malformed values exit 2 with a usage summary on
+// stderr — a sweep driven from CI must never silently ignore a typo.
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +103,8 @@ struct Options {
   std::uint32_t faults = 0;
   std::size_t fault_shard = ServiceConfig::kNoShard;
   std::uint64_t fault_seed = 1;
+  FaultStormConfig storm{};
+  ResilienceConfig resilience{};
   bool oracle = true;
   std::string json_path;
   std::string trace_json;
@@ -99,68 +121,154 @@ std::vector<std::string> split_list(const std::string& csv) {
   return out;
 }
 
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: heapd [options]\n"
+      "  sweep:   --shards a,b,..  --scheduler reactive|proactive|roundrobin"
+      ",..\n"
+      "           --load a,b,..  --requests N  --seed N  --sessions N\n"
+      "  shard:   --heap-words N  --cores N  --closed-loop  --host-threads N\n"
+      "           --fast-forward 0|1  --slo N  --max-backlog N  --no-oracle\n"
+      "  faults:  --faults N  --fault-shard N  --fault-seed N\n"
+      "  storm:   --storm-fraction F  --storm-events N  --storm-seed N\n"
+      "           --storm-burst N  --storm-calm N  --storm-crashes N\n"
+      "  resil.:  --supervise  --deadline N  --retries N  --backoff N\n"
+      "           --checkpoint-interval N  --restore-cost N\n"
+      "  output:  --json PATH  --trace-json PATH  -v|--verbose\n"
+      "see the header of examples/heapd.cpp for semantics\n");
+}
+
+[[noreturn]] void die_usage(const char* fmt, const char* a0) {
+  std::fprintf(stderr, "heapd: ");
+  std::fprintf(stderr, fmt, a0);
+  std::fprintf(stderr, "\n");
+  usage(stderr);
+  std::exit(2);
+}
+
+/// Strict unsigned parse: the whole token must be a number. "12x", "",
+/// "-3" and overflow all reject — a malformed sweep value must never
+/// silently become 0 requests or shard 0.
+std::uint64_t parse_u64(const char* flag, const std::string& s) {
+  if (s.empty() || s.front() == '-') {
+    die_usage("malformed value for %s (need an unsigned integer)",
+              flag);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    die_usage("malformed value for %s (need an unsigned integer)", flag);
+  }
+  return v;
+}
+
+double parse_f64(const char* flag, const std::string& s) {
+  if (s.empty()) die_usage("malformed value for %s (need a number)", flag);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+    die_usage("malformed value for %s (need a number)", flag);
+  }
+  return v;
+}
+
 bool parse_args(int argc, char** argv, Options& opt) {
   const auto next = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "missing value for %s\n", argv[i]);
-      std::exit(2);
-    }
+    if (i + 1 >= argc) die_usage("missing value for %s", argv[i]);
     return argv[++i];
+  };
+  const auto next_u64 = [&](int& i) {
+    const char* flag = argv[i];
+    return parse_u64(flag, next(i));
   };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--shards") {
       opt.shards.clear();
+      const char* flag = argv[i];
       for (const auto& s : split_list(next(i))) {
-        opt.shards.push_back(std::strtoull(s.c_str(), nullptr, 0));
+        opt.shards.push_back(
+            static_cast<std::size_t>(parse_u64(flag, s)));
       }
+      if (opt.shards.empty()) die_usage("empty list for %s", flag);
     } else if (a == "--scheduler") {
       opt.schedulers.clear();
+      const char* flag = argv[i];
       for (const auto& s : split_list(next(i))) {
         const auto k = parse_scheduler(s);
-        if (!k.has_value()) {
-          std::fprintf(stderr, "unknown scheduler %s\n", s.c_str());
-          return false;
-        }
+        if (!k.has_value()) die_usage("unknown scheduler \"%s\"", s.c_str());
         opt.schedulers.push_back(*k);
       }
+      if (opt.schedulers.empty()) die_usage("empty list for %s", flag);
     } else if (a == "--load") {
       opt.loads.clear();
+      const char* flag = argv[i];
       for (const auto& s : split_list(next(i))) {
-        opt.loads.push_back(std::strtod(s.c_str(), nullptr));
+        opt.loads.push_back(parse_f64(flag, s));
       }
+      if (opt.loads.empty()) die_usage("empty list for %s", flag);
     } else if (a == "--requests") {
-      opt.requests = std::strtoull(next(i), nullptr, 0);
+      opt.requests = next_u64(i);
     } else if (a == "--seed") {
-      opt.seed = std::strtoull(next(i), nullptr, 0);
+      opt.seed = next_u64(i);
     } else if (a == "--sessions") {
-      opt.sessions =
-          static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+      opt.sessions = static_cast<std::uint32_t>(next_u64(i));
     } else if (a == "--heap-words") {
-      opt.heap_words = std::strtoull(next(i), nullptr, 0);
+      opt.heap_words = static_cast<Word>(next_u64(i));
     } else if (a == "--cores") {
-      opt.cores = static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+      opt.cores = static_cast<std::uint32_t>(next_u64(i));
     } else if (a == "--closed-loop") {
       opt.closed_loop = true;
     } else if (a == "--host-threads") {
-      opt.host_threads = std::strtoull(next(i), nullptr, 0);
+      opt.host_threads = static_cast<std::size_t>(next_u64(i));
       if (opt.host_threads == 0) {
         opt.host_threads =
             std::max(1u, std::thread::hardware_concurrency());
       }
     } else if (a == "--fast-forward") {
-      opt.fast_forward = std::strtoul(next(i), nullptr, 0) != 0;
+      opt.fast_forward = next_u64(i) != 0;
     } else if (a == "--slo") {
-      opt.slo = std::strtoull(next(i), nullptr, 0);
+      opt.slo = next_u64(i);
     } else if (a == "--max-backlog") {
-      opt.max_backlog = std::strtoull(next(i), nullptr, 0);
+      opt.max_backlog = next_u64(i);
     } else if (a == "--faults") {
-      opt.faults =
-          static_cast<std::uint32_t>(std::strtoul(next(i), nullptr, 0));
+      opt.faults = static_cast<std::uint32_t>(next_u64(i));
     } else if (a == "--fault-shard") {
-      opt.fault_shard = std::strtoull(next(i), nullptr, 0);
+      opt.fault_shard = static_cast<std::size_t>(next_u64(i));
     } else if (a == "--fault-seed") {
-      opt.fault_seed = std::strtoull(next(i), nullptr, 0);
+      opt.fault_seed = next_u64(i);
+    } else if (a == "--storm-fraction") {
+      const char* flag = argv[i];
+      opt.storm.shard_fraction = parse_f64(flag, next(i));
+      if (opt.storm.shard_fraction < 0.0 || opt.storm.shard_fraction > 1.0) {
+        die_usage("%s must be in [0, 1]", flag);
+      }
+    } else if (a == "--storm-events") {
+      opt.storm.events_per_collection = static_cast<std::uint32_t>(next_u64(i));
+    } else if (a == "--storm-seed") {
+      opt.storm.seed = next_u64(i);
+    } else if (a == "--storm-burst") {
+      opt.storm.burst_requests = static_cast<std::uint32_t>(next_u64(i));
+    } else if (a == "--storm-calm") {
+      opt.storm.calm_requests = static_cast<std::uint32_t>(next_u64(i));
+    } else if (a == "--storm-crashes") {
+      opt.storm.crash_period = static_cast<std::uint32_t>(next_u64(i));
+    } else if (a == "--supervise") {
+      opt.resilience.supervise = true;
+    } else if (a == "--deadline") {
+      opt.resilience.deadline_cycles = next_u64(i);
+    } else if (a == "--retries") {
+      opt.resilience.max_retries = static_cast<std::uint32_t>(next_u64(i));
+    } else if (a == "--backoff") {
+      opt.resilience.retry_backoff = next_u64(i);
+    } else if (a == "--checkpoint-interval") {
+      opt.resilience.checkpoint_interval =
+          static_cast<std::uint32_t>(next_u64(i));
+    } else if (a == "--restore-cost") {
+      opt.resilience.restore_cost = next_u64(i);
     } else if (a == "--no-oracle") {
       opt.oracle = false;
     } else if (a == "--json") {
@@ -170,15 +278,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (a == "-v" || a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--help" || a == "-h") {
-      std::printf("see the header of examples/heapd.cpp for options\n");
+      usage(stdout);
       std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
-      return false;
+      die_usage("unknown option: %s", a.c_str());
     }
   }
   if (opt.faults > 0 && opt.fault_shard == ServiceConfig::kNoShard) {
     opt.fault_shard = 0;
+  }
+  if (opt.storm.crash_period > 0 && !opt.resilience.supervise) {
+    die_usage("%s", "--storm-crashes requires --supervise (a crashed shard "
+                    "must be quarantined and restored)");
   }
   return true;
 }
@@ -204,6 +315,8 @@ ServiceConfig make_config(const Options& o, std::size_t shards,
     cfg.fault_events = o.faults;
     cfg.fault_seed = o.fault_seed;
   }
+  cfg.storm = o.storm;
+  cfg.resilience = o.resilience;
   return cfg;
 }
 
@@ -233,17 +346,55 @@ bool run_config(const Options& o, const ServiceConfig& cfg,
   service.serve(o.requests);
 
   const SloStats fleet = service.fleet_stats();
-  std::printf("shards=%zu scheduler=%s load=%.2f %s\n", cfg.shards,
-              to_string(cfg.scheduler), cfg.traffic.load,
-              cfg.fault_events > 0 ? "(fault-injected)" : "");
+  std::string tags;
+  if (cfg.fault_events > 0) tags += " (fault-injected)";
+  if (service.storm().enabled()) {
+    tags += " (storm: " + std::to_string(service.storm().stormed_count()) +
+            "/" + std::to_string(cfg.shards) + " shards)";
+  }
+  if (service.resilient()) tags += " (supervised)";
+  std::printf("shards=%zu scheduler=%s load=%.2f%s\n", cfg.shards,
+              to_string(cfg.scheduler), cfg.traffic.load, tags.c_str());
   if (o.verbose) {
     for (std::size_t i = 0; i < service.shard_count(); ++i) {
       char label[16];
       std::snprintf(label, sizeof label, "s%zu", i);
       print_stats_row(label, service.shard_stats(i));
+      if (service.resilient()) {
+        std::printf("         health=%-11s", to_string(service.shard_health(i)));
+        const SloStats& ss = service.shard_stats(i);
+        std::printf(
+            " served %llu retried %llu failed %llu | ckpt %llu restore %llu "
+            "quar %llu degrade %llu crash %llu\n",
+            static_cast<unsigned long long>(ss.served()),
+            static_cast<unsigned long long>(ss.retried),
+            static_cast<unsigned long long>(ss.failed),
+            static_cast<unsigned long long>(ss.checkpoints),
+            static_cast<unsigned long long>(ss.restores),
+            static_cast<unsigned long long>(ss.quarantines),
+            static_cast<unsigned long long>(ss.degradations),
+            static_cast<unsigned long long>(ss.crashes));
+      }
     }
   }
   print_stats_row("fleet", fleet);
+  if (service.resilient()) {
+    std::printf(
+        "  fleet health=%s | served %llu retried %llu failed %llu shed %llu "
+        "| ckpt %llu restore %llu quar %llu degrade %llu crash %llu | %zu "
+        "health event(s)\n",
+        to_string(service.fleet_health()),
+        static_cast<unsigned long long>(fleet.served()),
+        static_cast<unsigned long long>(fleet.retried),
+        static_cast<unsigned long long>(fleet.failed),
+        static_cast<unsigned long long>(fleet.rejected),
+        static_cast<unsigned long long>(fleet.checkpoints),
+        static_cast<unsigned long long>(fleet.restores),
+        static_cast<unsigned long long>(fleet.quarantines),
+        static_cast<unsigned long long>(fleet.degradations),
+        static_cast<unsigned long long>(fleet.crashes),
+        service.health_events().size());
+  }
 
   // Cross-shard isolation proof: every shard's heap must still agree with
   // its shadow model, fault-injected neighbors or not.
@@ -267,6 +418,12 @@ bool run_config(const Options& o, const ServiceConfig& cfg,
   if (mismatches > 0) {
     ok = false;
     std::printf("  VALIDATION: %zu cross-shard mismatch(es)\n", mismatches);
+  }
+  if (fleet.checkpoint_digest_failures > 0) {
+    ok = false;
+    std::printf("  CHECKPOINT: %llu digest failure(s) on restore\n",
+                static_cast<unsigned long long>(
+                    fleet.checkpoint_digest_failures));
   }
   std::printf("  verification: %s (oracle on %llu cycles, cross-shard walk "
               "clean=%s)\n\n",

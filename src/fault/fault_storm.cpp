@@ -1,0 +1,93 @@
+#include "fault/fault_storm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace hwgc {
+
+FaultStorm::FaultStorm(const FaultStormConfig& cfg, std::size_t shards)
+    : cfg_(cfg), shards_(shards) {
+  if (!cfg.enabled() || shards == 0) return;
+  enabled_ = true;
+
+  // Seeded choice of primary victims: first k of a Fisher-Yates shuffle.
+  std::size_t k = static_cast<std::size_t>(
+      std::ceil(cfg.shard_fraction * static_cast<double>(shards)));
+  k = std::clamp<std::size_t>(k, 1, shards);
+  std::vector<std::size_t> order(shards);
+  for (std::size_t i = 0; i < shards; ++i) order[i] = i;
+  Rng rng(cfg.seed);
+  for (std::size_t i = shards; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  const std::uint32_t events = std::max<std::uint32_t>(
+      cfg.events_per_collection, 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    PerShard& s = shards_[order[i]];
+    s.stormed = true;
+    s.events = events;
+  }
+  if (cfg.correlate_neighbors) {
+    // Half-strength spill onto each primary's neighbor — same rack, same
+    // power domain. Never weakens a shard that is already a primary.
+    for (std::size_t i = 0; i < k; ++i) {
+      PerShard& n = shards_[(order[i] + 1) % shards];
+      if (!n.stormed) {
+        n.stormed = true;
+        n.events = std::max<std::uint32_t>(events / 2, 1);
+      }
+    }
+  }
+
+  const std::uint64_t period =
+      cfg.burst_requests > 0
+          ? std::uint64_t{cfg.burst_requests} + cfg.calm_requests
+          : 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    PerShard& s = shards_[i];
+    if (!s.stormed) continue;
+    ++stormed_count_;
+    std::uint64_t sm = cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    s.seed = splitmix64(sm);
+    s.phase = period > 0 ? splitmix64(sm) % period : 0;
+    s.initial_active = window_open(s, 0);
+    s.active = s.initial_active;
+  }
+}
+
+bool FaultStorm::window_open(const PerShard& s, std::uint64_t arrival) const {
+  if (cfg_.burst_requests == 0) return true;
+  const std::uint64_t period =
+      std::uint64_t{cfg_.burst_requests} + cfg_.calm_requests;
+  return (arrival + s.phase) % period < cfg_.burst_requests;
+}
+
+StormTick FaultStorm::tick(std::size_t shard) {
+  StormTick t;
+  PerShard& s = shards_[shard];
+  if (!s.stormed) return t;
+  const bool open = window_open(s, s.arrivals);
+  t.fault_active = open;
+  t.toggled = open != s.active;
+  s.active = open;
+  if (open) {
+    ++s.active_seen;
+    t.crash = cfg_.crash_period > 0 && s.active_seen % cfg_.crash_period == 0;
+  }
+  ++s.arrivals;
+  return t;
+}
+
+FaultConfig storm_fault_config(const FaultStorm& storm, std::size_t shard,
+                               const FaultConfig& base, bool active) {
+  FaultConfig f = base;
+  f.seed = storm.fault_seed(shard);
+  f.events = active ? storm.events(shard) : 0;
+  f.persistent_fraction = storm.config().persistent_fraction;
+  return f;
+}
+
+}  // namespace hwgc

@@ -1,0 +1,135 @@
+// Seeded multi-shard fault storms for the heap service (src/service/).
+//
+// PR 5's fault story was a single knob: route N fault events into every
+// collection on ONE shard. Real fleets see *sustained* storms — a bad
+// batch of DIMMs, a marginal power rail — that hit a fraction of the
+// fleet at once, re-fire for as long as the condition lasts, come in
+// bursts, spill onto correlated neighbors (same rack, same power domain),
+// and occasionally kill a shard outright. FaultStorm is the seeded,
+// deterministic plan for such a storm:
+//
+//   * shard selection — a seeded choice of round(shard_fraction * N)
+//     primary victims; with correlate_neighbors each primary also drags
+//     its (s+1) % N neighbor in at half the event count;
+//   * repeating faults — each stormed shard gets a per-shard fault seed;
+//     the runtime re-derives the SAME FaultPlan for every collection, so
+//     faults re-fire cycle after cycle (persistent_fraction controls how
+//     many re-fire within a cycle's retry ladder too);
+//   * bursts — storm activity toggles on/off in windows measured in
+//     per-shard request arrivals (burst_requests active, calm_requests
+//     quiet, per-shard phase offset from the seed), modeling intermittent
+//     conditions;
+//   * crashes — every crash_period-th storm-active arrival at a stormed
+//     shard kills it outright (the service layer quarantines the shard and
+//     restores it from its last checkpoint).
+//
+// The plan is pure data derived from (config, shard count): the same seed
+// produces the same storm on the serial and the shard-pool engine, which
+// is what keeps chaos runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+struct FaultStormConfig {
+  std::uint64_t seed = 1;
+
+  /// Fraction of the fleet stormed (primary victims); ceil(fraction * N),
+  /// at least 1 when > 0. 0 disables the storm entirely.
+  double shard_fraction = 0.0;
+
+  /// Fault events injected into every collection on a primary victim
+  /// (correlated neighbors get half, minimum 1).
+  std::uint32_t events_per_collection = 2;
+
+  /// Probability that an event is a hard fault re-firing across the
+  /// recovery ladder's retries (FaultConfig::persistent_fraction).
+  double persistent_fraction = 0.25;
+
+  /// Each primary victim also storms its (s+1) % N neighbor.
+  bool correlate_neighbors = true;
+
+  /// Burst windows, in per-shard request arrivals: burst_requests active
+  /// then calm_requests quiet, repeating, with a seeded per-shard phase.
+  /// burst_requests == 0 keeps the storm active for the whole run.
+  std::uint32_t burst_requests = 0;
+  std::uint32_t calm_requests = 0;
+
+  /// Every crash_period-th storm-active arrival at a stormed shard crashes
+  /// it (supervisor quarantine + checkpoint restore). 0 disables crashes.
+  std::uint32_t crash_period = 0;
+
+  bool enabled() const noexcept { return shard_fraction > 0.0; }
+};
+
+/// What the storm does to one shard at one request arrival.
+struct StormTick {
+  bool fault_active = false;  ///< burst window open after this arrival
+  bool toggled = false;       ///< window state changed AT this arrival
+  bool crash = false;         ///< this arrival crashes the shard
+};
+
+/// The derived plan plus per-shard burst/crash counters. The service's
+/// conductor owns the instance and calls tick() exactly once per request
+/// arrival at the shard's home, in request order — the counters are part
+/// of the deterministic cross-shard state, never touched by shard lanes.
+class FaultStorm {
+ public:
+  FaultStorm() = default;
+  FaultStorm(const FaultStormConfig& cfg, std::size_t shards);
+
+  bool enabled() const noexcept { return enabled_; }
+  std::size_t stormed_count() const noexcept { return stormed_count_; }
+  const FaultStormConfig& config() const noexcept { return cfg_; }
+
+  bool stormed(std::size_t shard) const { return shards_[shard].stormed; }
+  std::uint32_t events(std::size_t shard) const {
+    return shards_[shard].events;
+  }
+  std::uint64_t fault_seed(std::size_t shard) const {
+    return shards_[shard].seed;
+  }
+
+  /// Burst-window state before any arrival has been ticked — what the
+  /// shard's initial FaultConfig must reflect.
+  bool initially_active(std::size_t shard) const {
+    return shards_[shard].initial_active;
+  }
+
+  /// Advances the shard's arrival counter and reports window transitions
+  /// and scheduled crashes. Non-stormed shards always return a quiet tick.
+  StormTick tick(std::size_t shard);
+
+ private:
+  struct PerShard {
+    bool stormed = false;
+    std::uint32_t events = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t phase = 0;
+    bool initial_active = false;
+    // Counters advanced by tick():
+    std::uint64_t arrivals = 0;
+    std::uint64_t active_seen = 0;
+    bool active = false;
+  };
+
+  bool window_open(const PerShard& s, std::uint64_t arrival) const;
+
+  FaultStormConfig cfg_{};
+  bool enabled_ = false;
+  std::size_t stormed_count_ = 0;
+  std::vector<PerShard> shards_;
+};
+
+/// The per-shard FaultConfig a storm implies, overlaid on `base` (class
+/// mask and trigger scale are inherited from the base config). `active`
+/// false produces the calm-window config: same seed, zero events.
+FaultConfig storm_fault_config(const FaultStorm& storm, std::size_t shard,
+                               const FaultConfig& base, bool active);
+
+}  // namespace hwgc

@@ -80,6 +80,34 @@ Word Runtime::get_data(Ref obj, Word j) const {
 Word Runtime::pi(Ref obj) const { return heap_.pi(addr(obj)); }
 Word Runtime::delta(Ref obj) const { return heap_.delta(addr(obj)); }
 
+Runtime::Image Runtime::save_image() const {
+  Image img;
+  img.base = heap_.layout().current_base();
+  img.alloc = heap_.alloc_ptr();
+  img.words.reserve(static_cast<std::size_t>(img.alloc - img.base));
+  for (Addr a = img.base; a < img.alloc; ++a) {
+    img.words.push_back(heap_.memory().load(a));
+  }
+  img.roots = heap_.roots();
+  img.free_slots = free_slots_;
+  img.root_high_water = root_high_water_;
+  return img;
+}
+
+void Runtime::restore_image(const Image& img) {
+  if (heap_.layout().current_base() != img.base) heap_.flip();
+  for (std::size_t i = 0; i < img.words.size(); ++i) {
+    heap_.memory().store(img.base + static_cast<Addr>(i), img.words[i]);
+  }
+  heap_.set_alloc_ptr(img.alloc);
+  heap_.roots() = img.roots;
+  free_slots_ = img.free_slots;
+  root_high_water_ = img.root_high_water;
+  // An aborted fault run may have left stale checksums outside the restored
+  // prefix; enable_ecc() recomputes every word's checksum (idempotent).
+  if (heap_.memory().ecc_enabled()) heap_.memory().enable_ecc();
+}
+
 const GcCycleStats& Runtime::collect() {
   if (observer_ != nullptr) observer_->before_collection(*this);
   // Allocation into the current space is dense, so alloc_ptr is already

@@ -48,6 +48,11 @@ class Runtime {
     Ref() = default;
     bool is_null() const noexcept { return slot_ == kInvalid; }
 
+    /// Root-table slot index backing this reference (kInvalid for null).
+    /// Exposed for state digests (service-layer shard checkpoints); not a
+    /// heap address — use Runtime::address_of for that.
+    std::size_t slot_index() const noexcept { return slot_; }
+
    private:
     friend class Runtime;
     explicit Ref(std::size_t slot) : slot_(slot) {}
@@ -81,6 +86,36 @@ class Runtime {
   Word get_data(Ref obj, Word j) const;
   Word pi(Ref obj) const;
   Word delta(Ref obj) const;
+
+  /// Checkpoint seam (service-layer shard checkpoint/restore). An Image is
+  /// everything the mutator-visible runtime state consists of: the
+  /// allocated prefix of the current semispace, the allocation frontier,
+  /// the root table with its freelist, and the root high-water mark.
+  /// History vectors (gc_history, recovery_history) are monotone logs, not
+  /// state, and survive a restore untouched.
+  struct Image {
+    Addr base = 0;   ///< current-space base at capture (orientation)
+    Addr alloc = 0;  ///< allocation frontier at capture
+    std::vector<Word> words;             ///< [base, alloc) of current space
+    std::vector<Addr> roots;             ///< full root table
+    std::vector<std::size_t> free_slots; ///< root-slot freelist
+    std::size_t root_high_water = 0;
+  };
+
+  /// Captures the current mutator-visible state. Cheap relative to a
+  /// collection: one pass over the allocated prefix.
+  Image save_image() const;
+
+  /// Restores a previously captured image: flips the semispaces back to
+  /// the captured orientation if needed, rewrites the allocated prefix,
+  /// republishes the allocation frontier and root table, and re-enables
+  /// the ECC shadow (healing any stale checksums) when it was active.
+  void restore_image(const Image& img);
+
+  /// Swaps the fault-injection plan for future collections — the fault
+  /// storm's burst windows toggle per-shard injection on and off through
+  /// this without rebuilding the runtime.
+  void set_fault_config(const FaultConfig& f) noexcept { cfg_.fault = f; }
 
   /// Forces a collection cycle now.
   ///

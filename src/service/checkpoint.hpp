@@ -1,0 +1,59 @@
+// Deterministic shard checkpoints with an integrity digest.
+//
+// A quarantined shard must come back — and it must come back to a state
+// the service can PROVE is the one it saved. A ShardCheckpoint captures
+// everything one shard's behavior depends on:
+//
+//   * the runtime image — allocated heap prefix, allocation frontier,
+//     root-table namespace with its freelist, root high-water mark
+//     (Runtime::Image);
+//   * the shadow-mutator graph — every shadow object, the live set, the
+//     RNG stream position, the allocation count (ShadowMutator::Image);
+//   * session affinity — the session count whose (session % shards)
+//     pinning routed traffic here, so a restore provably resumes the same
+//     session partition;
+//   * an FNV-1a 64 digest over all of the above, computed at capture.
+//
+// Checkpoints are taken at VERIFIED-CLEAN cycle boundaries only: right
+// after a collection whose post-structure oracle reported no findings (the
+// conductor never checkpoints state it has not verified). Because heap and
+// shadow are captured at the same instant on the shard's own lane, the
+// pair is consistent by construction — no stop-the-fleet barrier needed.
+//
+// restore_into() recomputes the digest first and refuses a checkpoint that
+// does not match bit-for-bit; a capture → restore → capture round trip
+// yields an identical digest (tests/test_checkpoint.cpp), which is the
+// "round-trips bit-identically" acceptance criterion.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+#include "workloads/mutator.hpp"
+
+namespace hwgc {
+
+struct ShardCheckpoint {
+  std::size_t shard = 0;           ///< owning shard index
+  std::uint32_t sessions = 0;      ///< session-affinity record
+  std::uint64_t collections_at = 0; ///< GC cycles completed at capture
+  Runtime::Image runtime;
+  ShadowMutator::Image mutator;
+  std::uint64_t digest = 0;        ///< FNV-1a 64 over everything above
+
+  static ShardCheckpoint capture(std::size_t shard, std::uint32_t sessions,
+                                 const Runtime& rt, const ShadowMutator& m,
+                                 std::uint64_t collections);
+
+  /// Recomputes the digest from the stored state.
+  std::uint64_t compute_digest() const;
+
+  bool verify() const { return digest == compute_digest(); }
+
+  /// Digest-checked restore. Returns false — leaving rt and m untouched —
+  /// when the stored digest does not match the recomputed one (a corrupted
+  /// or tampered checkpoint must never be restored).
+  bool restore_into(Runtime& rt, ShadowMutator& m) const;
+};
+
+}  // namespace hwgc

@@ -7,6 +7,7 @@
 #include "conformance/conformance.hpp"
 #include "conformance/harness.hpp"
 #include "heap/object_model.hpp"
+#include "service/checkpoint.hpp"
 
 namespace hwgc {
 
@@ -39,21 +40,42 @@ std::uint32_t steps_for(RequestKind kind, std::uint32_t base) {
 /// Doubles as the runtime's CollectionObserver so scheduled AND
 /// exhaustion-triggered cycles get identical oracle + stall accounting.
 struct HeapService::ShardState final : CollectionObserver {
-  ShardState(std::size_t index_, const ServiceConfig& cfg)
+  ShardState(std::size_t index_, const ServiceConfig& cfg,
+             const FaultStorm& storm)
       : index(index_),
-        fault_injected(cfg.fault_shard == index_ && cfg.fault_events > 0),
+        fault_injected((cfg.fault_shard == index_ && cfg.fault_events > 0) ||
+                       (storm.enabled() && storm.stormed(index_))),
         oracle(cfg.oracle),
-        rt(cfg.semispace_words, shard_sim_config(index_, cfg)),
+        resilient(cfg.resilience.enabled()),
+        checkpoint_interval(cfg.resilience.checkpoint_interval),
+        sessions(cfg.traffic.sessions),
+        rt(cfg.semispace_words, shard_sim_config(index_, cfg, storm)),
         mutator(shard_mutator_config(index_, cfg)) {
     rt.set_collection_observer(this);
+    if (resilient) {
+      // Checkpoint 0: the pristine construction state, so a restore is
+      // always possible even before the first verified-clean cycle.
+      take_checkpoint();
+      slo_ring.assign(std::max<std::uint32_t>(cfg.resilience.slo_window, 1),
+                      0);
+    }
   }
 
   static SimConfig shard_sim_config(std::size_t index,
-                                    const ServiceConfig& cfg) {
+                                    const ServiceConfig& cfg,
+                                    const FaultStorm& storm) {
     SimConfig sim = cfg.sim;
     if (cfg.fault_shard == index && cfg.fault_events > 0) {
       sim.fault.events = cfg.fault_events;
       sim.fault.seed = shard_seed(cfg.fault_seed, index);
+    }
+    if (storm.enabled() && storm.stormed(index)) {
+      sim.fault = storm_fault_config(storm, index, sim.fault,
+                                     storm.initially_active(index));
+      // Keep the detection/recovery machinery armed through calm burst
+      // windows too: every collection on a stormed shard goes through the
+      // RecoveringCollector, so its counters stay in one family.
+      sim.recovery.enabled = true;
     }
     return sim;
   }
@@ -91,11 +113,58 @@ struct HeapService::ShardState final : CollectionObserver {
       if (rep.faults_fired > 0 || rep.attempts.size() > 1) {
         ++stats.recovered_collections;
       }
+      // Escalated recoveries — anything beyond a clean first attempt —
+      // feed the supervisor's degrade/quarantine thresholds.
+      if (rep.attempts.size() > 1 || rep.used_sequential_fallback ||
+          !rep.deconfigured.empty()) {
+        ++escalations;
+      }
     }
+    std::size_t errors = 0;
     if (oracle && pre.has_value()) {
-      run_oracle(r, s);
+      errors = run_oracle(r, s);
       pre.reset();
     }
+    // Verified-clean cycle boundary: the only place a checkpoint may be
+    // taken (the service never checkpoints state it has not verified —
+    // with the oracle off, every completed cycle counts as clean).
+    if (resilient && checkpoint_interval > 0 && errors == 0) {
+      if (++clean_cycles >= checkpoint_interval) {
+        take_checkpoint();
+        clean_cycles = 0;
+      }
+    }
+  }
+
+  void take_checkpoint() {
+    checkpoint = ShardCheckpoint::capture(index, sessions, rt, mutator,
+                                          stats.collections);
+    ++stats.checkpoints;
+    completed_since_checkpoint = 0;
+  }
+
+  /// Quarantine response, on the shard's lane: rewinds heap + shadow to
+  /// the last verified-clean checkpoint (digest-checked) and occupies the
+  /// shard until `ready`. Completions since the checkpoint are counted
+  /// rolled_back; a digest mismatch refuses the restore (the shard then
+  /// continues from its crash-consistent pre-cycle image — the recovery
+  /// ladder already restored that — and the mismatch is counted).
+  void run_restore(Cycle ready) {
+    ++stats.restores;
+    if (checkpoint.has_value() && checkpoint->restore_into(rt, mutator)) {
+      stats.rolled_back += completed_since_checkpoint;
+    } else {
+      ++stats.checkpoint_digest_failures;
+    }
+    completed_since_checkpoint = 0;
+    clean_cycles = 0;
+    gc_backlog = 0;
+    pending_gc = 0;
+    requests_since_gc = 0;
+    ring_pos = 0;
+    ring_size = 0;
+    ring_violations = 0;
+    next_free = std::max(next_free, ready);
   }
 
   /// Post-structure oracle over the cycle that just ran. Fault-free shards
@@ -104,7 +173,7 @@ struct HeapService::ShardState final : CollectionObserver {
   /// fault-injected shard may have finished through the recovery ladder's
   /// sequential fallback, whose counters are a different family, so it is
   /// held to the image properties only (liveness + dense compaction).
-  void run_oracle(Runtime& r, const GcCycleStats& s) {
+  std::size_t run_oracle(Runtime& r, const GcCycleStats& s) {
     std::vector<std::string> errors;
     if (fault_injected) {
       const VerifyResult vr = verify_collection(*pre, r.heap());
@@ -129,6 +198,7 @@ struct HeapService::ShardState final : CollectionObserver {
                                      e);
       }
     }
+    return errors.size();
   }
 
   Cycle take_pending_gc() noexcept {
@@ -140,6 +210,9 @@ struct HeapService::ShardState final : CollectionObserver {
   const std::size_t index;
   const bool fault_injected;
   const bool oracle;
+  const bool resilient;
+  const std::uint32_t checkpoint_interval;
+  const std::uint32_t sessions;
   Runtime rt;
   ShadowMutator mutator;
 
@@ -151,6 +224,18 @@ struct HeapService::ShardState final : CollectionObserver {
   std::optional<HeapSnapshot> pre;
   SloStats stats;
   std::vector<std::string> oracle_diagnostics;
+
+  // --- Resilience state (lane-owned; conductor reads only after a join) --
+  std::uint64_t escalations = 0;  ///< cumulative escalated recoveries
+  std::uint64_t failures = 0;     ///< cumulative unrecoverable failures
+  std::uint64_t clean_cycles = 0; ///< clean cycles since last checkpoint
+  std::uint64_t completed_since_checkpoint = 0;
+  std::optional<ShardCheckpoint> checkpoint;
+  /// SLO-burn sliding window over recent completions (1 = violation).
+  std::vector<std::uint8_t> slo_ring;
+  std::size_t ring_pos = 0;
+  std::uint64_t ring_size = 0;
+  std::uint64_t ring_violations = 0;
 };
 
 HeapService::HeapService(const ServiceConfig& cfg)
@@ -164,9 +249,20 @@ HeapService::HeapService(const ServiceConfig& cfg)
       cfg_.fault_shard >= cfg_.shards) {
     throw std::invalid_argument("HeapService: fault_shard out of range");
   }
+  if (cfg_.storm.enabled() && cfg_.storm.crash_period > 0 &&
+      !cfg_.resilience.supervise) {
+    throw std::invalid_argument(
+        "HeapService: storm crash_period needs resilience.supervise (a "
+        "crashed shard must be quarantined and restored)");
+  }
+  storm_ = FaultStorm(cfg_.storm, cfg_.shards);
+  if (cfg_.resilience.enabled()) {
+    supervisor_ =
+        std::make_unique<ShardSupervisor>(cfg_.shards, cfg_.resilience);
+  }
   shards_.reserve(cfg_.shards);
   for (std::size_t i = 0; i < cfg_.shards; ++i) {
-    shards_.push_back(std::make_unique<ShardState>(i, cfg_));
+    shards_.push_back(std::make_unique<ShardState>(i, cfg_, storm_));
   }
   fleet_size_view_.resize(cfg_.shards);
   for (std::size_t i = 0; i < cfg_.shards; ++i) {
@@ -213,7 +309,20 @@ std::vector<ShardObservation> HeapService::observations(Cycle at) const {
 
 void HeapService::run_scheduled_collection(ShardState& shard, Cycle at) {
   shard.pending_gc = 0;
-  shard.rt.collect();  // observer handles oracle + per-cycle accounting
+  if (shard.resilient) {
+    // A scheduler-forced cycle can die on a stormed shard too; record the
+    // failure for the supervisor instead of unwinding the conductor. The
+    // failed attempt published nothing (observer never ran), so neither
+    // collections nor scheduled_collections counts it.
+    try {
+      shard.rt.collect();
+    } catch (const std::runtime_error&) {
+      ++shard.failures;
+      return;
+    }
+  } else {
+    shard.rt.collect();  // observer handles oracle + per-cycle accounting
+  }
   const Cycle dur = shard.take_pending_gc();
   shard.next_free = std::max(shard.next_free, at) + dur;
   shard.gc_backlog += dur;
@@ -223,10 +332,13 @@ void HeapService::run_scheduled_collection(ShardState& shard, Cycle at) {
 /// Everything that touches only the target shard's state — runs on the
 /// shard's pool lane (or inline in serial mode). `req.arrival` is final by
 /// the time this executes; the lane's FIFO order makes the shard see the
-/// exact serial sequence of collections and requests.
-void HeapService::execute_request(ShardState& sh, const Request& req) {
+/// exact serial sequence of collections and requests. `penalty` is retry
+/// backoff accrued by failover routing (part of the request's queue
+/// latency); `rerouted` marks a completion on a non-home shard.
+void HeapService::execute_request(ShardState& sh, const Request& req,
+                                  Cycle penalty, bool rerouted) {
   ++sh.stats.offered;
-  const Cycle start = std::max(req.arrival, sh.next_free);
+  const Cycle start = std::max(req.arrival + penalty, sh.next_free);
   const Cycle wait = start - req.arrival;
   // Collection debt from earlier dispatches drains into this request's
   // stall component — charged to at most one request, never two. The
@@ -235,61 +347,202 @@ void HeapService::execute_request(ShardState& sh, const Request& req) {
   // the request arrived and delayed nobody. That discarded remainder is
   // precisely the GC a proactive scheduler hides in idle time.
   const Cycle inherited_stall = std::min(wait, sh.gc_backlog);
+  const Cycle prior_gc_backlog = sh.gc_backlog;
   sh.gc_backlog = 0;
 
   sh.pending_gc = 0;
   std::uint32_t steps = 0;
   std::size_t read_words = 0;
+  bool failed = false;
   if (req.kind == RequestKind::kRead) {
     std::size_t mismatches = 0;
     read_words = sh.mutator.probe(sh.rt, &mismatches);
     sh.stats.read_mismatches += mismatches;
   } else {
     steps = steps_for(req.kind, traffic_.config().steps_per_request);
-    for (std::uint32_t i = 0; i < steps; ++i) sh.mutator.step(sh.rt);
+    if (sh.resilient) {
+      // Graceful degradation: an unrecoverable collection (every rung of
+      // the escalation ladder failed) or heap exhaustion kills THIS
+      // request, not the fleet. The heap still holds the recovery
+      // ladder's restored pre-cycle image and the shadow was only mutated
+      // by fully completed steps, so shard state stays consistent; the
+      // supervisor quarantines and restores at the next conductor join.
+      try {
+        for (std::uint32_t i = 0; i < steps; ++i) sh.mutator.step(sh.rt);
+      } catch (const std::runtime_error&) {
+        failed = true;
+        ++sh.failures;
+      }
+    } else {
+      for (std::uint32_t i = 0; i < steps; ++i) sh.mutator.step(sh.rt);
+    }
   }
   // Cycles of exhaustion-triggered collection during this request's own
   // execution (harvested from the observer).
   const Cycle own_gc = sh.take_pending_gc();
+  if (failed) {
+    // The request dies without a completion record, so it charges no
+    // latency components. GC debt — what it would have inherited plus
+    // cycles that DID run before the failure — stays in the backlog for a
+    // later completion to inherit as stall (the at-most-one-request
+    // charging rule holds — this request charges nothing).
+    sh.next_free = start + own_gc;
+    sh.gc_backlog = prior_gc_backlog + own_gc;
+    ++sh.stats.failed;
+    return;
+  }
   const Cycle service = traffic_.service_cost(steps, read_words);
   const Cycle total = wait + own_gc + service;
 
   sh.next_free = start + own_gc + service;
   ++sh.stats.completed;
+  if (rerouted) ++sh.stats.retried;
+  ++sh.completed_since_checkpoint;
   ++sh.requests_since_gc;
   sh.stats.latency.record(total);
   sh.stats.service_cycles += service;
   sh.stats.queue_cycles += wait - inherited_stall;
   sh.stats.stall_cycles += inherited_stall + own_gc;
-  if (cfg_.slo_cycles > 0 && total > cfg_.slo_cycles) {
-    ++sh.stats.slo_violations;
+  const bool violation = cfg_.slo_cycles > 0 && total > cfg_.slo_cycles;
+  if (violation) ++sh.stats.slo_violations;
+  if (sh.resilient && !sh.slo_ring.empty()) {
+    if (sh.ring_size == sh.slo_ring.size()) {
+      sh.ring_violations -= sh.slo_ring[sh.ring_pos];
+    } else {
+      ++sh.ring_size;
+    }
+    sh.slo_ring[sh.ring_pos] = violation ? 1 : 0;
+    sh.ring_violations += violation ? 1 : 0;
+    sh.ring_pos = (sh.ring_pos + 1) % sh.slo_ring.size();
   }
+}
+
+void HeapService::supervise(std::size_t shard, Cycle at) {
+  // Caller has joined the shard's lane: its counters are quiescent.
+  ShardState& sh = *shards_[shard];
+  HealthSignals sig;
+  sig.escalations = sh.escalations;
+  sig.failures = sh.failures;
+  sig.completions = sh.stats.completed;
+  sig.window_size = sh.ring_size;
+  sig.window_violations = sh.ring_violations;
+  const ShardSupervisor::Verdict v = supervisor_->observe(shard, at, sig);
+  if (v.degraded) ++sh.stats.degradations;
+  if (v.reset_window) {
+    sh.ring_pos = 0;
+    sh.ring_size = 0;
+    sh.ring_violations = 0;
+  }
+  if (v.quarantined) {
+    ++sh.stats.quarantines;
+    restore_shard(shard, at);
+  }
+}
+
+void HeapService::restore_shard(std::size_t shard, Cycle at) {
+  // The restore occupies the shard for restore_cost virtual cycles;
+  // arrivals before `ready` fail over to healthy shards. The rewind runs
+  // on the shard's own lane (FIFO after anything already queued there).
+  ShardState* sh = shards_[shard].get();
+  const Cycle ready = at + cfg_.resilience.restore_cost;
+  HealthSignals sig;
+  sig.escalations = sh->escalations;
+  sig.failures = sh->failures;
+  sig.completions = sh->stats.completed;
+  supervisor_->restored(shard, ready, sig);
+  pool_->submit(shard, [sh, ready] { sh->run_restore(ready); });
+}
+
+std::size_t HeapService::route(const Request& req, Cycle& penalty) {
+  const ResilienceConfig& rc = cfg_.resilience;
+  const std::size_t n = shards_.size();
+  const std::size_t hops =
+      std::min<std::size_t>(std::size_t{rc.max_retries} + 1, n);
+  for (std::size_t h = 0; h < hops; ++h) {
+    const std::size_t cand = (req.shard + h) % n;
+    penalty = rc.retry_backoff * h;
+    const Cycle eff = req.arrival + penalty;
+    if (!supervisor_->serving(cand, eff)) continue;
+    pool_->join(cand);
+    const ShardState& cs = *shards_[cand];
+    const Cycle backlog = cs.next_free > eff ? cs.next_free - eff : 0;
+    if (cfg_.max_backlog > 0 && backlog > cfg_.max_backlog) continue;
+    if (rc.deadline_cycles > 0 && backlog + penalty > rc.deadline_cycles) {
+      continue;
+    }
+    return cand;
+  }
+  penalty = 0;
+  return ServiceConfig::kNoShard;
 }
 
 void HeapService::serve(std::uint64_t requests) {
   // Conductor loop (DESIGN.md §13). The conductor owns every cross-shard
-  // decision — traffic RNG, virtual clock, admission, scheduling — in
-  // strict request order, and ships shard-local work to the shards' FIFO
-  // lanes. It joins a lane exactly where the serial engine would read that
-  // shard's state: closed-loop arrival sampling and admission control join
-  // the target shard; a kFull scheduler observation joins the whole fleet.
-  // With host_threads <= 1 every submit runs inline, reproducing the
-  // serial engine verbatim.
+  // decision — traffic RNG, virtual clock, storm schedule, supervision,
+  // routing, admission, scheduling — in strict request order, and ships
+  // shard-local work to the shards' FIFO lanes. It joins a lane exactly
+  // where the serial engine would read that shard's state: closed-loop
+  // arrival sampling, supervision harvests, admission control and failover
+  // candidate probing join the target shard; a kFull scheduler observation
+  // joins the whole fleet. With host_threads <= 1 every submit runs
+  // inline, reproducing the serial engine verbatim — which is why serial
+  // and shard-pool runs stay bit-identical even mid-storm.
   const ObservationNeeds needs = scheduler_->needs();
+  const bool resilient = supervisor_ != nullptr;
   for (std::uint64_t n = 0; n < requests; ++n) {
     Request req = traffic_.draw();
+    const std::size_t home = req.shard;
     if (!traffic_.config().open_loop) {
-      pool_->join(req.shard);
-      traffic_.finalize_closed(req, shards_[req.shard]->next_free);
+      pool_->join(home);
+      traffic_.finalize_closed(req, shards_[home]->next_free);
     }
     if (req.arrival > now_) now_ = req.arrival;
     ++offered_;
-    ShardState& sh = *shards_[req.shard];
+    ShardState& sh = *shards_[home];
 
-    // Admission control: shed instead of queueing past the debt bound.
-    // Joined above for closed-loop traffic; open-loop joins here.
-    if (cfg_.max_backlog > 0) {
-      pool_->join(req.shard);
+    // Fault-storm schedule for the home shard: burst-window toggles ship a
+    // new fault config down the lane; crash events kill the shard as this
+    // request arrives (the request is lost, the shard restores).
+    bool crash_now = false;
+    if (storm_.enabled() && storm_.stormed(home)) {
+      const StormTick t = storm_.tick(home);
+      if (t.toggled) {
+        const FaultConfig fc = storm_fault_config(storm_, home,
+                                                  cfg_.sim.fault,
+                                                  t.fault_active);
+        ShardState* hs = &sh;
+        pool_->submit(home, [hs, fc] { hs->rt.set_fault_config(fc); });
+      }
+      crash_now = t.crash && resilient;
+    }
+
+    std::size_t target = home;
+    Cycle penalty = 0;
+    if (resilient) {
+      pool_->join(home);
+      supervise(home, req.arrival);
+      if (crash_now) {
+        ++sh.stats.offered;
+        ++sh.stats.failed;
+        ++sh.stats.crashes;
+        if (supervisor_->crash(home, req.arrival, "storm-crash")) {
+          ++sh.stats.quarantines;
+          restore_shard(home, req.arrival);
+        }
+        continue;
+      }
+      // Failover routing with deadline budget; shed when no serving shard
+      // can take the request.
+      target = route(req, penalty);
+      if (target == ServiceConfig::kNoShard) {
+        ++sh.stats.offered;
+        ++sh.stats.rejected;
+        continue;
+      }
+    } else if (cfg_.max_backlog > 0) {
+      // Admission control: shed instead of queueing past the debt bound.
+      // Joined above for closed-loop traffic; open-loop joins here.
+      pool_->join(home);
       const Cycle backlog =
           sh.next_free > req.arrival ? sh.next_free - req.arrival : 0;
       if (backlog > cfg_.max_backlog) {
@@ -317,13 +570,18 @@ void HeapService::serve(std::uint64_t requests) {
         break;
     }
     if (pick) {
-      ShardState& target = *shards_[*pick];
+      ShardState& sched_target = *shards_[*pick];
       const Cycle at = req.arrival;
-      pool_->submit(*pick,
-                    [this, &target, at] { run_scheduled_collection(target, at); });
+      pool_->submit(*pick, [this, &sched_target, at] {
+        run_scheduled_collection(sched_target, at);
+      });
     }
 
-    pool_->submit(req.shard, [this, &sh, req] { execute_request(sh, req); });
+    ShardState* ts = shards_[target].get();
+    const bool rerouted = target != home;
+    pool_->submit(target, [this, ts, req, penalty, rerouted] {
+      execute_request(*ts, req, penalty, rerouted);
+    });
   }
   pool_->join_all();
 }
@@ -362,6 +620,29 @@ std::size_t HeapService::validate_all_shards() {
     mismatches += validate_shard(i);
   }
   return mismatches;
+}
+
+ShardHealth HeapService::shard_health(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("HeapService::shard_health: shard out of range");
+  }
+  return supervisor_ ? supervisor_->state(shard) : ShardHealth::kHealthy;
+}
+
+ShardHealth HeapService::fleet_health() const {
+  ShardHealth worst = ShardHealth::kHealthy;
+  if (supervisor_) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const ShardHealth h = supervisor_->state(i);
+      if (severity(h) > severity(worst)) worst = h;
+    }
+  }
+  return worst;
+}
+
+const std::vector<HealthEvent>& HeapService::health_events() const {
+  static const std::vector<HealthEvent> kEmpty;
+  return supervisor_ ? supervisor_->events() : kEmpty;
 }
 
 void HeapService::set_telemetry(TelemetryBus* bus) {

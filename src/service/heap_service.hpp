@@ -42,10 +42,12 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_storm.hpp"
 #include "heap/verifier.hpp"
 #include "runtime/runtime.hpp"
 #include "service/scheduler.hpp"
 #include "service/slo.hpp"
+#include "service/supervisor.hpp"
 #include "service/traffic.hpp"
 #include "sim/config.hpp"
 #include "sim/shard_pool.hpp"
@@ -83,10 +85,24 @@ struct ServiceConfig {
 
   /// Per-shard fault injection: route `fault_events` seeded fault events
   /// into every collection on `fault_shard` (collections there then run
-  /// through the RecoveringCollector). kNoShard disables.
+  /// through the RecoveringCollector). kNoShard disables. The multi-shard
+  /// generalization is `storm` below; both may be active at once (the
+  /// storm's plan wins on a shard it covers).
   std::size_t fault_shard = kNoShard;
   std::uint32_t fault_events = 0;
   std::uint64_t fault_seed = 1;
+
+  /// Seeded multi-shard fault storm (fault/fault_storm.hpp): a fraction of
+  /// the fleet takes repeating per-collection faults, in bursts, with
+  /// correlated neighbors and an optional crash schedule. Stormed shards
+  /// always run collections through the RecoveringCollector.
+  FaultStormConfig storm{};
+
+  /// Fleet resilience (service/supervisor.hpp): health supervision,
+  /// verified-clean checkpoints, restore-on-quarantine, failover routing
+  /// with deadline budgets and load shedding. Disabled by default — the
+  /// engine is then byte-identical to the pre-resilience service.
+  ResilienceConfig resilience{};
 
   /// Host threads executing shard work (simulation, not virtual time).
   /// <= 1 runs everything inline on the caller's thread — the serial
@@ -144,18 +160,54 @@ class HeapService {
   /// shared across shards; epochs identify the collecting shard).
   void set_telemetry(TelemetryBus* bus);
 
+  // --- Fleet resilience ----------------------------------------------------
+
+  /// True when health supervision / failover routing is active (the
+  /// resilience config's enabled() — supervise or a deadline budget).
+  bool resilient() const noexcept { return supervisor_ != nullptr; }
+
+  /// Current health of one shard (kHealthy when supervision is off).
+  ShardHealth shard_health(std::size_t shard) const;
+
+  /// Worst health across the fleet (severity order in supervisor.hpp).
+  ShardHealth fleet_health() const;
+
+  /// Health transition log (empty when supervision is off).
+  const std::vector<HealthEvent>& health_events() const;
+
+  /// The storm plan in effect (enabled() false without a storm config).
+  const FaultStorm& storm() const noexcept { return storm_; }
+
  private:
   struct ShardState;
 
   std::vector<ShardObservation> observations(Cycle at) const;
   void run_scheduled_collection(ShardState& shard, Cycle at);
-  void execute_request(ShardState& shard, const Request& req);
+  void execute_request(ShardState& shard, const Request& req, Cycle penalty,
+                       bool rerouted);
   void rebuild_pool();
+
+  /// Harvests the shard's health signals (its lane must be joined) and
+  /// runs the supervisor's state machine; performs the restore on a
+  /// quarantine verdict.
+  void supervise(std::size_t shard, Cycle at);
+
+  /// Quarantine response: submits the checkpoint restore to the shard's
+  /// lane and marks the shard restoring until `at` + restore_cost.
+  void restore_shard(std::size_t shard, Cycle at);
+
+  /// Failover routing: picks the first serving candidate in (home + k) %
+  /// shards order whose backlog passes admission and the deadline budget;
+  /// sets `penalty` to the accumulated retry backoff. Returns
+  /// ServiceConfig::kNoShard when every candidate fails (shed).
+  std::size_t route(const Request& req, Cycle& penalty);
 
   ServiceConfig cfg_;
   TrafficModel traffic_;
   std::unique_ptr<GcScheduler> scheduler_;
   std::vector<std::unique_ptr<ShardState>> shards_;
+  FaultStorm storm_;
+  std::unique_ptr<ShardSupervisor> supervisor_;
   Cycle now_ = 0;
   std::uint64_t offered_ = 0;
   bool telemetry_attached_ = false;

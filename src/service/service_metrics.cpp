@@ -52,6 +52,22 @@ void append_record(std::string& out, const HeapService& service,
   out += ",\"stall_cycles\":" + std::to_string(s.stall_cycles);
   out += ",\"slo_cycles\":" + std::to_string(cfg.slo_cycles);
   out += ",\"slo_violations\":" + std::to_string(s.slo_violations);
+  out += ",\"served\":" + std::to_string(s.served());
+  out += ",\"retried\":" + std::to_string(s.retried);
+  out += ",\"failed\":" + std::to_string(s.failed);
+  out += ",\"rolled_back\":" + std::to_string(s.rolled_back);
+  out += ",\"checkpoints\":" + std::to_string(s.checkpoints);
+  out += ",\"restores\":" + std::to_string(s.restores);
+  out += ",\"quarantines\":" + std::to_string(s.quarantines);
+  out += ",\"degradations\":" + std::to_string(s.degradations);
+  out += ",\"crashes\":" + std::to_string(s.crashes);
+  out += ",\"health\":\"" + std::string(to_string(shard < 0
+                                                      ? service.fleet_health()
+                                                      : service.shard_health(
+                                                            static_cast<
+                                                                std::size_t>(
+                                                                shard)))) +
+         "\"";
   out += "}\n";
 }
 
@@ -93,6 +109,16 @@ constexpr FieldSpec kServiceSchemaV1[] = {
     {"stall_cycles", false},
     {"slo_cycles", false},
     {"slo_violations", false},
+    {"served", false},
+    {"retried", false},
+    {"failed", false},
+    {"rolled_back", false},
+    {"checkpoints", false},
+    {"restores", false},
+    {"quarantines", false},
+    {"degradations", false},
+    {"crashes", false},
+    {"health", true},
 };
 
 }  // namespace
@@ -154,8 +180,22 @@ bool validate_service_jsonl_line(const std::string& line, std::string* error) {
   if (shard < -1 || shard >= num("shards")) {
     return set_error("shard must be -1 (fleet) or in [0, shards)");
   }
-  if (num("completed") + num("rejected") != num("requests")) {
-    return set_error("completed + rejected != requests");
+  if (num("completed") + num("rejected") + num("failed") != num("requests")) {
+    return set_error("completed + rejected + failed != requests");
+  }
+  if (num("served") + num("retried") != num("completed")) {
+    return set_error("served + retried != completed");
+  }
+  if (num("crashes") > num("failed")) {
+    return set_error("crashes exceeds failed requests");
+  }
+  if (num("restores") > num("quarantines")) {
+    return set_error("restores exceeds quarantines");
+  }
+  const std::string& health = *find("health");
+  if (health != "\"healthy\"" && health != "\"degraded\"" &&
+      health != "\"quarantined\"" && health != "\"restoring\"") {
+    return set_error("health is not a known shard-health state");
   }
   const double p50 = num("latency_p50"), p99 = num("latency_p99"),
                p999 = num("latency_p999"), mx = num("latency_max");

@@ -14,7 +14,11 @@
 //   * latency percentiles monotone (p50 <= p99 <= p999 <= max);
 //   * non-negative stall accounting that adds up exactly:
 //     service_cycles + queue_cycles + stall_cycles == latency_cycles;
-//   * completed + rejected == requests;
+//   * the request partition: completed + rejected + failed == requests and
+//     served + retried == completed (resilience additions keep the
+//     identities exact under failover retries and load shedding);
+//   * crashes <= failed, restores <= quarantines, and health is one of
+//     healthy / degraded / quarantined / restoring;
 //   * scheduled_collections <= collections, slo_violations <= completed.
 #pragma once
 

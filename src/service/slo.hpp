@@ -107,10 +107,19 @@ class LatencyHistogram {
 };
 
 /// Per-shard (and, merged, fleet-wide) service-level statistics.
+///
+/// Request-accounting partition (validator-enforced in service_metrics):
+/// every admitted request ends in exactly one of completed / rejected /
+/// failed, so completed + rejected + failed == offered; and every
+/// completion was served either on its home shard or via failover, so
+/// served + retried == completed (served = completed - retried is derived
+/// at report time). rolled_back counts completions later undone by a
+/// checkpoint restore — informational, NOT part of the partition (those
+/// requests were answered; the restore rewinds shard state, not history).
 struct SloStats {
   std::uint64_t offered = 0;    ///< requests routed to the shard
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;   ///< shed by admission control (backpressure)
+  std::uint64_t rejected = 0;   ///< shed: admission control or deadline
 
   LatencyHistogram latency;     ///< end-to-end completed-request latency
   Cycle service_cycles = 0;     ///< sums of the three exclusive components;
@@ -125,6 +134,21 @@ struct SloStats {
   std::uint64_t recovered_collections = 0;  ///< went through fault recovery
   std::uint64_t oracle_failures = 0;   ///< post-structure oracle findings
   std::uint64_t read_mismatches = 0;   ///< probe reads diverging from shadow
+
+  // --- Fleet resilience (supervisor / checkpoint / fault storm) ----------
+  std::uint64_t retried = 0;      ///< completions served by a failover shard
+  std::uint64_t failed = 0;       ///< admitted but terminally failed
+  std::uint64_t crashes = 0;      ///< storm crash events (subset of failed)
+  std::uint64_t rolled_back = 0;  ///< completions undone by a restore
+  std::uint64_t checkpoints = 0;  ///< verified-clean checkpoints taken
+  std::uint64_t restores = 0;     ///< checkpoint restores performed
+  std::uint64_t checkpoint_digest_failures = 0;  ///< must stay 0
+  std::uint64_t degradations = 0; ///< health transitions into degraded
+  std::uint64_t quarantines = 0;  ///< health transitions into quarantined
+
+  /// Completions served first-try on their home shard (the partition's
+  /// derived member: served + retried == completed).
+  std::uint64_t served() const noexcept { return completed - retried; }
 
   void merge(const SloStats& o) noexcept {
     offered += o.offered;
@@ -141,6 +165,15 @@ struct SloStats {
     recovered_collections += o.recovered_collections;
     oracle_failures += o.oracle_failures;
     read_mismatches += o.read_mismatches;
+    retried += o.retried;
+    failed += o.failed;
+    crashes += o.crashes;
+    rolled_back += o.rolled_back;
+    checkpoints += o.checkpoints;
+    restores += o.restores;
+    checkpoint_digest_failures += o.checkpoint_digest_failures;
+    degradations += o.degradations;
+    quarantines += o.quarantines;
   }
 };
 

@@ -1,0 +1,96 @@
+#include "service/supervisor.hpp"
+
+namespace hwgc {
+
+ShardSupervisor::ShardSupervisor(std::size_t shards,
+                                 const ResilienceConfig& cfg)
+    : cfg_(cfg), shards_(shards) {}
+
+void ShardSupervisor::transition(std::size_t shard, Cycle at, ShardHealth to,
+                                 const char* reason) {
+  Shard& s = shards_[shard];
+  ++events_total_;
+  if (events_.size() < kMaxEvents) {
+    events_.push_back({at, shard, s.state, to, reason});
+  }
+  s.state = to;
+}
+
+ShardSupervisor::Verdict ShardSupervisor::observe(std::size_t shard,
+                                                  Cycle now,
+                                                  const HealthSignals& sig) {
+  Verdict v;
+  Shard& s = shards_[shard];
+  if (s.state == ShardHealth::kQuarantined) return v;  // awaiting restore
+
+  const std::uint64_t esc = sig.escalations - s.esc_base;
+  const std::uint64_t fails = sig.failures - s.fail_base;
+  const bool burn =
+      cfg_.slo_window > 0 && sig.window_size >= cfg_.slo_window &&
+      static_cast<double>(sig.window_violations) >=
+          cfg_.slo_burn * static_cast<double>(sig.window_size);
+  if (burn) v.reset_window = true;
+
+  // Unrecoverable collections (or heap exhaustion past recovery) trump
+  // everything: the shard's lane already failed requests; quarantine now.
+  if (fails > 0) {
+    transition(shard, now, ShardHealth::kQuarantined, "unrecoverable");
+    v.quarantined = true;
+    return v;
+  }
+  if (esc >= cfg_.quarantine_after) {
+    transition(shard, now, ShardHealth::kQuarantined, "escalation-storm");
+    v.quarantined = true;
+    return v;
+  }
+
+  switch (s.state) {
+    case ShardHealth::kHealthy:
+      if (esc >= cfg_.degrade_after) {
+        transition(shard, now, ShardHealth::kDegraded, "escalations");
+        s.esc_base = sig.escalations;
+        v.degraded = true;
+      } else if (burn) {
+        transition(shard, now, ShardHealth::kDegraded, "slo-burn");
+        s.esc_base = sig.escalations;
+        v.degraded = true;
+      }
+      break;
+    case ShardHealth::kDegraded:
+      if (burn) {
+        transition(shard, now, ShardHealth::kQuarantined, "slo-burn");
+        v.quarantined = true;
+      }
+      break;
+    case ShardHealth::kRestoring:
+      if (now >= s.ready &&
+          sig.completions - s.probation_base >= cfg_.probation) {
+        transition(shard, now, ShardHealth::kHealthy, "probation-complete");
+        s.esc_base = sig.escalations;
+        v.recovered = true;
+      }
+      break;
+    case ShardHealth::kQuarantined:
+      break;
+  }
+  return v;
+}
+
+bool ShardSupervisor::crash(std::size_t shard, Cycle now, const char* reason) {
+  Shard& s = shards_[shard];
+  if (s.state == ShardHealth::kQuarantined) return false;
+  transition(shard, now, ShardHealth::kQuarantined, reason);
+  return true;
+}
+
+void ShardSupervisor::restored(std::size_t shard, Cycle ready,
+                               const HealthSignals& sig) {
+  Shard& s = shards_[shard];
+  transition(shard, ready, ShardHealth::kRestoring, "checkpoint-restore");
+  s.ready = ready;
+  s.esc_base = sig.escalations;
+  s.fail_base = sig.failures;
+  s.probation_base = sig.completions;
+}
+
+}  // namespace hwgc

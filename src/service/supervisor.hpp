@@ -1,0 +1,210 @@
+// ShardSupervisor — per-shard health tracking and the fleet's resilience
+// policy knobs.
+//
+// Health state machine (DESIGN.md §14):
+//
+//             escalations / SLO burn            escalations / burn again
+//   healthy ───────────────────────► degraded ─────────────────────────┐
+//      ▲                                │                              │
+//      │ probation complete             │ unrecoverable / crash        ▼
+//   restoring ◄──── restore ──────  quarantined ◄──────────── (any state on
+//      │                                                       crash or un-
+//      └── new failure ────────────────►                       recoverable)
+//
+// Signals are harvested by the service's conductor at join points only
+// (the shard's lane is drained before its counters are read), so the
+// machine is fed the exact same sequence on the serial and the shard-pool
+// engine — health transitions are part of the bit-reproducible output.
+//
+//   * escalations — recovered collections that needed more than a clean
+//     first attempt (retry, core deconfiguration, sequential fallback);
+//     degrade_after of them since the last transition degrade the shard,
+//     quarantine_after quarantine it.
+//   * failures — unrecoverable collections / heap exhaustion observed on
+//     the shard's lane, and storm crash events: immediate quarantine.
+//   * SLO burn — a sliding window of recent completions; when the window
+//     is full and the violating fraction reaches slo_burn, a healthy shard
+//     degrades and an already-degraded shard is quarantined.
+//
+// Quarantine is always answered by a checkpoint restore: the conductor
+// restores the shard's last verified-clean checkpoint on its lane, marks
+// the shard restoring until the restore's virtual completion time
+// (restore_ready), fails in-flight arrivals over to healthy shards
+// meanwhile, and re-promotes to healthy after `probation` clean
+// completions. Every transition lands in the event log (capped) and in
+// the per-shard SloStats counters the JSONL report exposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hwgc {
+
+enum class ShardHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded,
+  kQuarantined,
+  kRestoring,
+};
+
+constexpr const char* to_string(ShardHealth h) noexcept {
+  switch (h) {
+    case ShardHealth::kHealthy: return "healthy";
+    case ShardHealth::kDegraded: return "degraded";
+    case ShardHealth::kQuarantined: return "quarantined";
+    case ShardHealth::kRestoring: return "restoring";
+  }
+  return "?";
+}
+
+/// Severity order for fleet aggregation (worst state wins): healthy <
+/// degraded < restoring < quarantined.
+constexpr int severity(ShardHealth h) noexcept {
+  switch (h) {
+    case ShardHealth::kHealthy: return 0;
+    case ShardHealth::kDegraded: return 1;
+    case ShardHealth::kRestoring: return 2;
+    case ShardHealth::kQuarantined: return 3;
+  }
+  return 0;
+}
+
+/// Fleet-resilience knobs (ServiceConfig::resilience).
+struct ResilienceConfig {
+  /// Master switch: health supervision, checkpointing, restore-on-
+  /// quarantine, failover routing. Off keeps the service byte-identical
+  /// to the pre-resilience engine.
+  bool supervise = false;
+
+  /// Checkpoint every Nth verified-clean collection cycle (0 keeps only
+  /// the initial checkpoint taken at construction).
+  std::uint32_t checkpoint_interval = 8;
+
+  /// Virtual cycles a checkpoint restore occupies the shard.
+  Cycle restore_cost = 20'000;
+
+  /// Escalated recoveries since the last transition that degrade /
+  /// quarantine the shard.
+  std::uint32_t degrade_after = 2;
+  std::uint32_t quarantine_after = 4;
+
+  /// SLO-burn window: completions tracked per shard; when the window is
+  /// full and violations >= slo_burn * window, the shard degrades (or, if
+  /// already degraded, is quarantined). slo_window == 0 disables.
+  std::uint32_t slo_window = 64;
+  double slo_burn = 0.5;
+
+  /// Clean completions a restoring shard must serve to re-earn healthy.
+  std::uint32_t probation = 32;
+
+  /// Per-request deadline budget on queueing delay (backlog + retry
+  /// backoff): a candidate shard whose backlog would blow the budget is
+  /// skipped, and a request no candidate can meet is shed. 0 disables.
+  /// Setting it enables supervision implicitly.
+  Cycle deadline_cycles = 0;
+
+  /// Failover: candidates tried after the home shard (deterministic
+  /// (home + k) % shards order) before the request is shed.
+  std::uint32_t max_retries = 2;
+
+  /// Extra arrival delay per failover hop (retry backoff), charged to the
+  /// request's queue latency.
+  Cycle retry_backoff = 200;
+
+  bool enabled() const noexcept {
+    return supervise || deadline_cycles > 0;
+  }
+};
+
+/// Cumulative per-shard counters the conductor harvests at a join point.
+struct HealthSignals {
+  std::uint64_t escalations = 0;  ///< escalated recoveries (monotone)
+  std::uint64_t failures = 0;     ///< unrecoverable collections (monotone)
+  std::uint64_t completions = 0;  ///< completed requests (monotone)
+  std::uint64_t window_size = 0;  ///< SLO-burn window occupancy
+  std::uint64_t window_violations = 0;
+};
+
+struct HealthEvent {
+  Cycle at = 0;
+  std::size_t shard = 0;
+  ShardHealth from = ShardHealth::kHealthy;
+  ShardHealth to = ShardHealth::kHealthy;
+  std::string reason;
+};
+
+class ShardSupervisor {
+ public:
+  ShardSupervisor(std::size_t shards, const ResilienceConfig& cfg);
+
+  ShardHealth state(std::size_t shard) const {
+    return shards_[shard].state;
+  }
+
+  /// Virtual cycle the shard's pending restore completes (meaningful in
+  /// kRestoring; 0 before the first restore).
+  Cycle restore_ready(std::size_t shard) const {
+    return shards_[shard].ready;
+  }
+
+  /// May a request arriving at `arrival` be routed to the shard?
+  /// Quarantined shards never serve; restoring shards serve once the
+  /// restore has completed in virtual time (probation traffic).
+  bool serving(std::size_t shard, Cycle arrival) const {
+    const Shard& s = shards_[shard];
+    if (s.state == ShardHealth::kQuarantined) return false;
+    if (s.state == ShardHealth::kRestoring && arrival < s.ready) return false;
+    return true;
+  }
+
+  /// What observe() decided; the conductor mirrors it into SloStats and
+  /// performs the restore.
+  struct Verdict {
+    bool degraded = false;     ///< entered kDegraded
+    bool quarantined = false;  ///< entered kQuarantined — restore now
+    bool recovered = false;    ///< probation complete, back to kHealthy
+    bool reset_window = false; ///< clear the shard's SLO-burn window
+  };
+
+  /// Feeds freshly harvested signals at virtual time `now` and runs the
+  /// state machine.
+  Verdict observe(std::size_t shard, Cycle now, const HealthSignals& sig);
+
+  /// External kill (fault-storm crash schedule): quarantines the shard
+  /// regardless of state. Returns true when a restore is now required
+  /// (false only if the shard was already quarantined).
+  bool crash(std::size_t shard, Cycle now, const char* reason);
+
+  /// The conductor restored the shard's checkpoint; it serves again (on
+  /// probation) for arrivals at or after `ready`.
+  void restored(std::size_t shard, Cycle ready, const HealthSignals& sig);
+
+  /// Transition log, in occurrence order (capped at kMaxEvents; the total
+  /// including dropped ones is events_total()).
+  const std::vector<HealthEvent>& events() const noexcept { return events_; }
+  std::uint64_t events_total() const noexcept { return events_total_; }
+
+  static constexpr std::size_t kMaxEvents = 4096;
+
+ private:
+  struct Shard {
+    ShardHealth state = ShardHealth::kHealthy;
+    Cycle ready = 0;
+    std::uint64_t esc_base = 0;   ///< escalations at last transition
+    std::uint64_t fail_base = 0;  ///< failures at last restore
+    std::uint64_t probation_base = 0;  ///< completions at last restore
+  };
+
+  void transition(std::size_t shard, Cycle at, ShardHealth to,
+                  const char* reason);
+
+  ResilienceConfig cfg_;
+  std::vector<Shard> shards_;
+  std::vector<HealthEvent> events_;
+  std::uint64_t events_total_ = 0;
+};
+
+}  // namespace hwgc

@@ -68,6 +68,16 @@ class Rng {
   /// Bernoulli trial with probability p.
   constexpr bool chance(double p) noexcept { return uniform01() < p; }
 
+  /// Raw generator state, for checkpoint/restore of seeded components
+  /// (service-layer shard checkpoints). A restored state resumes the exact
+  /// stream — the bit-reproducibility invariant extends across restores.
+  constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

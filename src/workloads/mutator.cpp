@@ -25,6 +25,22 @@ ShadowMutator::ShadowMutator(Config cfg) : cfg_(cfg), rng_(cfg.seed) {
   }
 }
 
+ShadowMutator::Image ShadowMutator::save_image() const {
+  Image img;
+  img.rng = rng_.state();
+  img.objs = objs_;
+  img.live = live_;
+  img.allocations = allocations_;
+  return img;
+}
+
+void ShadowMutator::restore_image(const Image& img) {
+  rng_.set_state(img.rng);
+  objs_ = img.objs;
+  live_ = img.live;
+  allocations_ = img.allocations;
+}
+
 std::size_t ShadowMutator::live_rooted() const noexcept {
   std::size_t n = 0;
   for (std::size_t i : live_) {

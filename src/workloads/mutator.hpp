@@ -11,6 +11,7 @@
 // verifier covers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -66,7 +67,9 @@ class ShadowMutator {
   std::size_t live_rooted() const noexcept;
   std::uint64_t allocations() const noexcept { return allocations_; }
 
- private:
+  /// One shadow object. Public only so Image below can be a value type the
+  /// service-layer checkpoint stores and digests; not part of the mutation
+  /// API.
   struct ShadowObj {
     Runtime::Ref ref;  ///< valid while rooted
     bool rooted = false;
@@ -76,6 +79,22 @@ class ShadowMutator {
     std::vector<Word> data;
   };
 
+  /// Checkpoint seam: the complete mutator state — shadow graph, live set,
+  /// RNG stream position and allocation count. Restoring an image resumes
+  /// the exact step sequence the mutator would have produced from the
+  /// capture point (paired with Runtime::restore_image so the shadow and
+  /// the real heap stay in lockstep).
+  struct Image {
+    std::array<std::uint64_t, 4> rng{};
+    std::vector<ShadowObj> objs;
+    std::vector<std::size_t> live;
+    std::uint64_t allocations = 0;
+  };
+
+  Image save_image() const;
+  void restore_image(const Image& img);
+
+ private:
   /// Drops shadow objects that are no longer reachable from any rooted
   /// shadow object (they are garbage in the real heap too).
   void shadow_collect();

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/coprocessor.hpp"
 #include "fault/recovery.hpp"
@@ -223,6 +225,104 @@ TEST(Runtime, NormalCollectionDrainsAndRestarts) {
   EXPECT_TRUE(s.restart_stores_drained);
   EXPECT_EQ(rt.drain_violations(), 0u);
   EXPECT_EQ(s.objects_copied, 2u);
+}
+
+TEST(Recovery, LadderExhaustionFailsWithPerAttemptAccounting) {
+  // Every rung disabled: a persistent fail-stop with deconfiguration AND
+  // the sequential fallback forbidden must exhaust the retry budget and
+  // report failure honestly — exactly 1 + max_retries attempts, every one
+  // recorded as an abort, and no rung silently skipped.
+  const GraphPlan plan = small_plan();
+  Workload w = materialize(plan);
+
+  FaultPlan fplan;
+  FaultEvent e;
+  e.kind = FaultKind::kCoreFailStop;
+  e.persistent = true;
+  e.target_core = 1;
+  e.when_holding_free = true;
+  fplan.events.push_back(e);
+
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 2;
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_retries = 2;
+  cfg.recovery.allow_deconfigure = false;
+  cfg.recovery.allow_sequential_fallback = false;
+
+  // Pre-image of the whole allocated prefix, word for word.
+  const Addr base = w.heap->layout().current_base();
+  const Addr alloc = w.heap->alloc_ptr();
+  std::vector<Word> pre_words;
+  for (Addr a = base; a < alloc; ++a) {
+    pre_words.push_back(w.heap->memory().load(a));
+  }
+  const std::vector<Addr> pre_roots = w.heap->roots();
+
+  RecoveringCollector rc(cfg, *w.heap, fplan);
+  const RecoveryReport report = rc.collect();
+
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.attempts.size(), 3u)
+      << "1 + max_retries attempts before giving up";
+  for (const auto& a : report.attempts) {
+    EXPECT_FALSE(a.success);
+    EXPECT_EQ(a.num_cores, 2u) << "deconfiguration forbidden";
+    EXPECT_GT(a.cycles, 0u);
+  }
+  EXPECT_TRUE(report.deconfigured.empty());
+  EXPECT_FALSE(report.used_sequential_fallback);
+  EXPECT_GE(report.aborts(AbortReason::kWatchdog), 3u);
+
+  // No silent corruption: the failed collection must leave the pre-cycle
+  // image bit-exact — same space, same words, same roots, same alloc_ptr.
+  ASSERT_EQ(w.heap->layout().current_base(), base);
+  ASSERT_EQ(w.heap->alloc_ptr(), alloc);
+  for (Addr a = base; a < alloc; ++a) {
+    ASSERT_EQ(w.heap->memory().load(a),
+              pre_words[static_cast<std::size_t>(a - base)])
+        << "word at " << a << " diverged from the pre-cycle image";
+  }
+  EXPECT_EQ(w.heap->roots(), pre_roots);
+}
+
+TEST(Runtime, UnrecoverableCollectionThrowsWithMessage) {
+  // Runtime-level surface of ladder exhaustion: collect() must throw (not
+  // return garbage), the message must say so, the failed cycle must NOT
+  // appear in gc_history, and the failing report must be preserved with
+  // its per-attempt accounting.
+  SimConfig cfg;
+  cfg.coprocessor.num_cores = 2;
+  cfg.fault.seed = 7;
+  cfg.fault.events = 4;
+  cfg.fault.persistent_fraction = 1.0;  // every event re-fires on retry
+  cfg.fault.class_mask = 1u << static_cast<int>(FaultKind::kCoreFailStop);
+  cfg.fault.trigger_scale = 48;
+  cfg.recovery.enabled = true;
+  cfg.recovery.max_retries = 1;
+  cfg.recovery.allow_deconfigure = false;
+  cfg.recovery.allow_sequential_fallback = false;
+
+  Runtime rt(1 << 16, cfg);
+  Runtime::Ref a = rt.alloc(2, 1);
+  Runtime::Ref b = rt.alloc(0, 4);
+  rt.set_ptr(a, 0, b);
+  rt.set_ptr(a, 1, a);
+
+  try {
+    rt.collect();
+    FAIL() << "ladder exhaustion must surface as an exception";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("unrecoverable"), std::string::npos)
+        << "actual message: " << ex.what();
+  }
+  EXPECT_TRUE(rt.gc_history().empty())
+      << "a failed collection must not be recorded as completed";
+  ASSERT_EQ(rt.recovery_history().size(), 1u);
+  const RecoveryReport& report = rt.recovery_history()[0];
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.attempts.size(), 2u);  // 1 + max_retries
+  for (const auto& at : report.attempts) EXPECT_FALSE(at.success);
 }
 
 TEST(Runtime, FaultConfigRoutesCollectionThroughRecovery) {

@@ -1,0 +1,363 @@
+// Fleet resilience under sustained fault storms (DESIGN.md §14).
+//
+// Three layers under test:
+//   * ShardSupervisor unit contract — the health state machine's exact
+//     transitions (escalations, unrecoverable failures, SLO burn, crash,
+//     restore + probation) and the serving() routing predicate;
+//   * FaultStorm unit contract — the seeded multi-shard storm plan is
+//     deterministic and correlates neighbors;
+//   * the chaos harness proof on HeapService — a quarter of the fleet
+//     under a sustained storm with crashes: ZERO corrupted sessions (the
+//     oracle, the read probes and the cross-shard walk all come back
+//     clean), every admitted request accounted for exactly once
+//     (completed + rejected + failed == offered, served + retried ==
+//     completed, per shard AND fleet-wide), every degradation visible in
+//     the health-event log and the hwgc-service-v1 records, and the whole
+//     run bit-identical between the serial engine and the shard pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault_storm.hpp"
+#include "service/heap_service.hpp"
+#include "service/service_metrics.hpp"
+#include "service/supervisor.hpp"
+
+namespace hwgc {
+namespace {
+
+// --- ShardSupervisor unit contract -----------------------------------------
+
+ResilienceConfig unit_cfg() {
+  ResilienceConfig rc;
+  rc.supervise = true;
+  rc.degrade_after = 2;
+  rc.quarantine_after = 4;
+  rc.slo_window = 4;
+  rc.slo_burn = 0.5;
+  rc.probation = 3;
+  return rc;
+}
+
+TEST(ShardSupervisor, EscalationsDegradeThenQuarantine) {
+  ShardSupervisor sup(1, unit_cfg());
+  HealthSignals sig;
+  EXPECT_EQ(sup.state(0), ShardHealth::kHealthy);
+
+  sig.escalations = 1;
+  auto v = sup.observe(0, 100, sig);
+  EXPECT_FALSE(v.degraded);
+  EXPECT_EQ(sup.state(0), ShardHealth::kHealthy);
+
+  sig.escalations = 2;  // degrade_after reached
+  v = sup.observe(0, 200, sig);
+  EXPECT_TRUE(v.degraded);
+  EXPECT_EQ(sup.state(0), ShardHealth::kDegraded);
+
+  // The degrade reset the baseline: 2 further escalations are tolerated,
+  // the 4th cumulative-since-transition quarantines.
+  sig.escalations = 5;
+  v = sup.observe(0, 300, sig);
+  EXPECT_FALSE(v.quarantined);
+  sig.escalations = 6;
+  v = sup.observe(0, 400, sig);
+  EXPECT_TRUE(v.quarantined);
+  EXPECT_EQ(sup.state(0), ShardHealth::kQuarantined);
+  EXPECT_FALSE(sup.serving(0, 99999));
+
+  // Quarantined shards are parked until the restore, whatever the signals.
+  v = sup.observe(0, 500, sig);
+  EXPECT_FALSE(v.degraded || v.quarantined || v.recovered);
+}
+
+TEST(ShardSupervisor, UnrecoverableFailureQuarantinesImmediately) {
+  ShardSupervisor sup(2, unit_cfg());
+  HealthSignals sig;
+  sig.failures = 1;
+  const auto v = sup.observe(1, 50, sig);
+  EXPECT_TRUE(v.quarantined);
+  EXPECT_EQ(sup.state(1), ShardHealth::kQuarantined);
+  EXPECT_EQ(sup.state(0), ShardHealth::kHealthy) << "per-shard isolation";
+  ASSERT_EQ(sup.events().size(), 1u);
+  EXPECT_EQ(sup.events()[0].reason, "unrecoverable");
+}
+
+TEST(ShardSupervisor, SloBurnDegradesThenQuarantines) {
+  ShardSupervisor sup(1, unit_cfg());
+  HealthSignals sig;
+  sig.window_size = 4;
+  sig.window_violations = 2;  // 50% >= slo_burn
+  auto v = sup.observe(0, 10, sig);
+  EXPECT_TRUE(v.degraded);
+  EXPECT_TRUE(v.reset_window) << "a burn verdict consumes the window";
+  EXPECT_EQ(sup.state(0), ShardHealth::kDegraded);
+
+  // Burning again while degraded escalates to quarantine.
+  v = sup.observe(0, 20, sig);
+  EXPECT_TRUE(v.quarantined);
+  EXPECT_EQ(sup.state(0), ShardHealth::kQuarantined);
+}
+
+TEST(ShardSupervisor, RestoreProbationThenHealthy) {
+  ShardSupervisor sup(1, unit_cfg());
+  HealthSignals sig;
+  sig.failures = 1;
+  ASSERT_TRUE(sup.observe(0, 100, sig).quarantined);
+
+  sig.completions = 10;
+  sup.restored(0, 600, sig);
+  EXPECT_EQ(sup.state(0), ShardHealth::kRestoring);
+  EXPECT_EQ(sup.restore_ready(0), 600u);
+  EXPECT_FALSE(sup.serving(0, 599)) << "failover window while restoring";
+  EXPECT_TRUE(sup.serving(0, 600)) << "probation traffic after the restore";
+
+  // Probation: 3 clean completions after the restore re-earn healthy —
+  // but not before the restore's virtual completion time.
+  sig.completions = 13;
+  auto v = sup.observe(0, 590, sig);
+  EXPECT_FALSE(v.recovered);
+  v = sup.observe(0, 700, sig);
+  EXPECT_TRUE(v.recovered);
+  EXPECT_EQ(sup.state(0), ShardHealth::kHealthy);
+
+  // The failure that caused the quarantine was baselined by restored():
+  // it must not re-quarantine the recovered shard.
+  v = sup.observe(0, 800, sig);
+  EXPECT_FALSE(v.quarantined);
+}
+
+TEST(ShardSupervisor, CrashQuarantinesFromAnyStateOnce) {
+  ShardSupervisor sup(1, unit_cfg());
+  EXPECT_TRUE(sup.crash(0, 40, "storm-crash"));
+  EXPECT_EQ(sup.state(0), ShardHealth::kQuarantined);
+  EXPECT_FALSE(sup.crash(0, 41, "storm-crash"))
+      << "an already-quarantined shard needs no second restore";
+  ASSERT_EQ(sup.events().size(), 1u);
+  EXPECT_EQ(sup.events()[0].reason, "storm-crash");
+  EXPECT_EQ(sup.events_total(), 1u);
+}
+
+// --- FaultStorm unit contract ----------------------------------------------
+
+TEST(FaultStorm, SeededPlanIsDeterministic) {
+  FaultStormConfig cfg;
+  cfg.seed = 9;
+  cfg.shard_fraction = 0.25;
+  cfg.burst_requests = 8;
+  cfg.calm_requests = 8;
+  FaultStorm a(cfg, 8), b(cfg, 8);
+  ASSERT_TRUE(a.enabled());
+  EXPECT_EQ(a.stormed_count(), b.stormed_count());
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(a.stormed(s), b.stormed(s));
+    if (!a.stormed(s)) continue;
+    EXPECT_EQ(a.events(s), b.events(s));
+    EXPECT_EQ(a.fault_seed(s), b.fault_seed(s));
+    EXPECT_EQ(a.initially_active(s), b.initially_active(s));
+    for (int i = 0; i < 40; ++i) {
+      const StormTick ta = a.tick(s), tb = b.tick(s);
+      EXPECT_EQ(ta.fault_active, tb.fault_active);
+      EXPECT_EQ(ta.toggled, tb.toggled);
+      EXPECT_EQ(ta.crash, tb.crash);
+    }
+  }
+}
+
+TEST(FaultStorm, QuarterFleetWithNeighborsAndDistinctSeeds) {
+  FaultStormConfig cfg;
+  cfg.seed = 3;
+  cfg.shard_fraction = 0.25;
+  cfg.correlate_neighbors = true;
+  FaultStorm storm(cfg, 8);
+  // ceil(0.25 * 8) = 2 primaries; correlated neighbors may add up to 2.
+  EXPECT_GE(storm.stormed_count(), 2u);
+  EXPECT_LE(storm.stormed_count(), 4u);
+  std::uint64_t prev_seed = 0;
+  for (std::size_t s = 0; s < 8; ++s) {
+    if (!storm.stormed(s)) continue;
+    EXPECT_GT(storm.events(s), 0u);
+    EXPECT_NE(storm.fault_seed(s), prev_seed)
+        << "per-shard fault streams must be independent";
+    prev_seed = storm.fault_seed(s);
+  }
+}
+
+TEST(FaultStorm, DisabledByDefault) {
+  FaultStormConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  FaultStorm storm(cfg, 8);
+  EXPECT_FALSE(storm.enabled());
+  EXPECT_EQ(storm.stormed_count(), 0u);
+}
+
+// --- Chaos harness on HeapService ------------------------------------------
+
+/// The chaos configuration: 25% of an 8-shard fleet under a sustained
+/// storm (repeating collection faults in bursts, periodic crashes), with
+/// supervision, checkpointing, failover routing and a deadline budget.
+ServiceConfig chaos_config() {
+  ServiceConfig cfg;
+  cfg.shards = 8;
+  cfg.semispace_words = 2048;  // small heap: collections actually happen
+  cfg.sim.coprocessor.num_cores = 2;
+  cfg.storm.seed = 5;
+  cfg.storm.shard_fraction = 0.25;
+  cfg.storm.events_per_collection = 2;
+  cfg.storm.burst_requests = 64;
+  cfg.storm.calm_requests = 32;
+  cfg.storm.crash_period = 250;
+  cfg.resilience.supervise = true;
+  cfg.resilience.checkpoint_interval = 2;
+  cfg.resilience.restore_cost = 20'000;
+  cfg.resilience.deadline_cycles = 1u << 16;
+  cfg.resilience.max_retries = 2;
+  cfg.resilience.retry_backoff = 200;
+  return cfg;
+}
+
+void expect_partition(const SloStats& s, const std::string& who) {
+  EXPECT_EQ(s.completed + s.rejected + s.failed, s.offered)
+      << who << ": every admitted request must end in exactly one bucket";
+  EXPECT_EQ(s.served() + s.retried, s.completed)
+      << who << ": completions split into home-served and failed-over";
+  EXPECT_LE(s.crashes, s.failed) << who;
+  EXPECT_LE(s.restores, s.quarantines) << who;
+  EXPECT_EQ(s.checkpoint_digest_failures, 0u) << who;
+}
+
+TEST(ChaosHarness, StormedQuarterFleetZeroCorruption) {
+  HeapService service(chaos_config());
+  ASSERT_TRUE(service.resilient());
+  ASSERT_GE(service.storm().stormed_count(), 2u);
+  service.serve(6000);
+
+  const SloStats fleet = service.fleet_stats();
+
+  // The storm actually happened: crashes fired, shards were quarantined
+  // and restored from checkpoints, traffic failed over.
+  EXPECT_GT(fleet.crashes, 0u);
+  EXPECT_GT(fleet.quarantines, 0u);
+  EXPECT_GT(fleet.restores, 0u);
+  EXPECT_GT(fleet.retried, 0u) << "failover routing must have engaged";
+  EXPECT_GT(fleet.checkpoints, 0u);
+
+  // ZERO corrupted sessions: every verification layer clean.
+  EXPECT_EQ(fleet.oracle_failures, 0u);
+  EXPECT_EQ(fleet.read_mismatches, 0u);
+  EXPECT_EQ(service.validate_all_shards(), 0u)
+      << "a stormed shard leaked corruption into the fleet";
+
+  // Exact accounting, shard by shard and in aggregate.
+  for (std::size_t i = 0; i < service.shard_count(); ++i) {
+    expect_partition(service.shard_stats(i), "shard " + std::to_string(i));
+  }
+  expect_partition(fleet, "fleet");
+
+  // Every degradation visible: the event log's quarantine transitions
+  // match the counters the JSONL exposes.
+  std::uint64_t quarantine_events = 0, restore_events = 0;
+  for (const HealthEvent& e : service.health_events()) {
+    if (e.to == ShardHealth::kQuarantined) ++quarantine_events;
+    if (e.to == ShardHealth::kRestoring) ++restore_events;
+  }
+  EXPECT_EQ(quarantine_events, fleet.quarantines);
+  EXPECT_EQ(restore_events, fleet.restores);
+
+  // And the hwgc-service-v1 records validate — the schema's identities
+  // are enforced on exactly this output in CI.
+  const std::string jsonl = service_report_jsonl(service, "chaos");
+  std::size_t pos = 0, lines = 0;
+  while (pos < jsonl.size()) {
+    std::size_t eol = jsonl.find('\n', pos);
+    if (eol == std::string::npos) eol = jsonl.size();
+    const std::string line = jsonl.substr(pos, eol - pos);
+    if (!line.empty()) {
+      ++lines;
+      std::string err;
+      EXPECT_TRUE(validate_service_jsonl_line(line, &err)) << err;
+    }
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, service.shard_count() + 1);
+}
+
+TEST(ChaosHarness, SerialAndShardPoolBitIdenticalUnderStorm) {
+  ServiceConfig cfg = chaos_config();
+  cfg.host_threads = 1;
+  HeapService serial(cfg);
+  serial.serve(4000);
+  const std::string reference = service_report_jsonl(serial, "chaos");
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ServiceConfig pc = chaos_config();
+    pc.host_threads = threads;
+    HeapService pooled(pc);
+    pooled.serve(4000);
+    EXPECT_EQ(service_report_jsonl(pooled, "chaos"), reference)
+        << "host_threads=" << threads
+        << " diverged from the serial engine under the storm";
+  }
+}
+
+TEST(ChaosHarness, DeadlineBudgetShedsInsteadOfQueueingUnbounded) {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.semispace_words = 2048;
+  cfg.sim.coprocessor.num_cores = 2;
+  cfg.traffic.load = 4.0;  // far past saturation
+  cfg.resilience.deadline_cycles = 512;
+  cfg.resilience.max_retries = 1;
+  HeapService service(cfg);
+  ASSERT_TRUE(service.resilient()) << "a deadline budget enables resilience";
+  service.serve(4000);
+  const SloStats fleet = service.fleet_stats();
+  EXPECT_GT(fleet.rejected, 0u)
+      << "an overloaded fleet with a deadline budget must shed";
+  EXPECT_GT(fleet.completed, 0u);
+  expect_partition(fleet, "fleet");
+  EXPECT_EQ(service.validate_all_shards(), 0u);
+}
+
+TEST(ChaosHarness, ResilienceOffIsInertAndHealthy) {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.semispace_words = 2048;
+  HeapService service(cfg);
+  EXPECT_FALSE(service.resilient());
+  service.serve(1500);
+  EXPECT_EQ(service.fleet_health(), ShardHealth::kHealthy);
+  EXPECT_EQ(service.shard_health(0), ShardHealth::kHealthy);
+  EXPECT_TRUE(service.health_events().empty());
+  const SloStats fleet = service.fleet_stats();
+  EXPECT_EQ(fleet.failed, 0u);
+  EXPECT_EQ(fleet.retried, 0u);
+  EXPECT_EQ(fleet.checkpoints, 0u);
+  EXPECT_EQ(fleet.restores, 0u);
+  EXPECT_EQ(fleet.quarantines, 0u);
+  expect_partition(fleet, "fleet");
+}
+
+TEST(ChaosHarness, CrashPeriodWithoutSupervisionIsRejected) {
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.storm.shard_fraction = 0.5;
+  cfg.storm.crash_period = 100;
+  cfg.resilience.supervise = false;
+  EXPECT_THROW(HeapService{cfg}, std::invalid_argument)
+      << "a crash schedule without a supervisor would wedge shards forever";
+}
+
+TEST(ChaosHarness, RollbackNeverExceedsCompletions) {
+  ServiceConfig cfg = chaos_config();
+  cfg.resilience.checkpoint_interval = 1;
+  HeapService service(cfg);
+  service.serve(5000);
+  const SloStats fleet = service.fleet_stats();
+  EXPECT_LE(fleet.rolled_back, fleet.completed)
+      << "a restore can only roll back requests that completed";
+  EXPECT_EQ(service.validate_all_shards(), 0u);
+}
+
+}  // namespace
+}  // namespace hwgc

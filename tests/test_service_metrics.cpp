@@ -127,6 +127,57 @@ TEST(ServiceJsonl, ValidatorRejectsShardOutOfRange) {
       replace_field(good_line(), "shard", "99"), &err));
 }
 
+// --- resilience fields (fleet-resilience PR additions) -----------------------
+
+TEST(ServiceJsonl, ValidatorRejectsFailedBreakingThePartition) {
+  // completed + rejected + failed == requests is the partition identity;
+  // inventing a failed request breaks it.
+  std::string err;
+  EXPECT_FALSE(validate_service_jsonl_line(
+      replace_field(good_line(), "failed", "3"), &err));
+  EXPECT_NE(err.find("failed"), std::string::npos) << err;
+}
+
+TEST(ServiceJsonl, ValidatorRejectsServedRetriedMismatch) {
+  std::string err;
+  EXPECT_FALSE(validate_service_jsonl_line(
+      replace_field(good_line(), "retried", "11"), &err));
+  EXPECT_NE(err.find("served + retried"), std::string::npos) << err;
+}
+
+TEST(ServiceJsonl, ValidatorRejectsCrashesExceedingFailed) {
+  std::string err;
+  EXPECT_FALSE(validate_service_jsonl_line(
+      replace_field(good_line(), "crashes", "5"), &err));
+  EXPECT_NE(err.find("crashes"), std::string::npos) << err;
+}
+
+TEST(ServiceJsonl, ValidatorRejectsRestoresExceedingQuarantines) {
+  std::string err;
+  EXPECT_FALSE(validate_service_jsonl_line(
+      replace_field(good_line(), "restores", "4"), &err));
+  EXPECT_NE(err.find("restores"), std::string::npos) << err;
+}
+
+TEST(ServiceJsonl, ValidatorRejectsUnknownHealthState) {
+  std::string err;
+  EXPECT_FALSE(validate_service_jsonl_line(
+      replace_field(good_line(), "health", "\"zombie\""), &err));
+  EXPECT_NE(err.find("health"), std::string::npos) << err;
+}
+
+TEST(ServiceJsonl, ValidatorRejectsMissingResilienceField) {
+  std::string line = good_line();
+  const std::size_t at = line.find(",\"quarantines\":");
+  ASSERT_NE(at, std::string::npos);
+  std::size_t end = line.find(',', at + 1);
+  if (end == std::string::npos) end = line.find('}', at + 1);
+  line.erase(at, end - at);
+  std::string err;
+  EXPECT_FALSE(validate_service_jsonl_line(line, &err));
+  EXPECT_NE(err.find("quarantines"), std::string::npos) << err;
+}
+
 // --- the mixed-schema file gate ---------------------------------------------
 
 std::string temp_path(const char* name) {
