@@ -11,16 +11,21 @@
 //   --json[=path] additionally emit the aggregated metrics as stable-schema
 //                 JSONL (default path BENCH_<suite>.json; schema
 //                 hwgc-bench-v1, see src/telemetry/metrics.hpp)
+//   --profile-json[=path]  emit per-configuration stall attribution as
+//                 hwgc-profile-v1 JSONL (default path
+//                 BENCH_<suite>_profile.json; src/profile/)
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/coprocessor.hpp"
+#include "profile/cycle_profiler.hpp"
 #include "sim/config.hpp"
 #include "telemetry/metrics.hpp"
 #include "workloads/benchmarks.hpp"
@@ -33,6 +38,8 @@ struct Options {
   std::vector<BenchmarkId> benchmarks = all_benchmarks();
   bool json = false;
   std::string json_path;  ///< empty: BENCH_<suite>.json
+  bool profile_json = false;
+  std::string profile_json_path;  ///< empty: BENCH_<suite>_profile.json
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -65,9 +72,15 @@ inline Options parse_options(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json = true;
       opt.json_path = arg.substr(7);
+    } else if (arg == "--profile-json") {
+      opt.profile_json = true;
+    } else if (arg.rfind("--profile-json=", 0) == 0) {
+      opt.profile_json = true;
+      opt.profile_json_path = arg.substr(15);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--scale=F] [--seed=N] [--bench=a,b,...] [--json[=path]]\n",
+          "usage: %s [--scale=F] [--seed=N] [--bench=a,b,...] [--json[=path]]"
+          " [--profile-json[=path]]\n",
           argv[0]);
       std::exit(0);
     }
@@ -76,12 +89,21 @@ inline Options parse_options(int argc, char** argv) {
 }
 
 /// Builds the workload fresh and runs one collection cycle under `cfg`.
+/// With `profile` non-null the cycle runs under the stall-attribution
+/// profiler and leaves its CycleProfile there (simulated cycle counts are
+/// identical either way).
 inline GcCycleStats run_collection(BenchmarkId id, const Options& opt,
-                                   SimConfig cfg) {
+                                   SimConfig cfg,
+                                   CycleProfile* profile = nullptr) {
   Workload w = make_benchmark(id, opt.scale, opt.seed);
   cfg.heap.semispace_words = w.heap->layout().semispace_words();
   Coprocessor coproc(cfg, *w.heap);
-  return coproc.collect();
+  if (profile == nullptr) return coproc.collect();
+  CycleProfiler profiler;
+  const GcCycleStats stats =
+      coproc.collect(nullptr, nullptr, nullptr, nullptr, &profiler);
+  *profile = profiler.take_profile();
+  return stats;
 }
 
 inline void print_header(const char* title, const Options& opt) {
@@ -114,6 +136,26 @@ inline bool maybe_write_jsonl(const MetricsRegistry& reg, const Options& opt,
     return false;
   }
   std::printf("\nwrote %zu metric record(s) to %s\n", reg.size(), path.c_str());
+  return true;
+}
+
+/// Writes pre-rendered hwgc-profile-v1 JSONL when --profile-json was
+/// requested (default path BENCH_<suite>_profile.json). Same error
+/// contract as maybe_write_jsonl.
+inline bool maybe_write_profile_jsonl(const std::string& jsonl,
+                                      const Options& opt,
+                                      const std::string& suite) {
+  if (!opt.profile_json) return true;
+  const std::string path = opt.profile_json_path.empty()
+                               ? "BENCH_" + suite + "_profile.json"
+                               : opt.profile_json_path;
+  std::ofstream f(path, std::ios::binary);
+  if (f) f.write(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
+  if (!f || !f.flush().good()) {
+    std::fprintf(stderr, "error: failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote profile attribution to %s\n", path.c_str());
   return true;
 }
 

@@ -19,6 +19,10 @@
 //     --faults=N        inject N seeded fault events per cycle and route
 //                       collections through the recovery machinery
 //     --no-clear        append frames instead of redrawing (logs, CI)
+//     --profile         cycle attribution drill-down (src/profile/): the
+//                       panel grows a critical-path line plus a per-class
+//                       share bar chart, and --json gains the
+//                       hwgc-profile-v1 attribution record
 //     --json=PATH       write the session's aggregated metrics (min/mean/
 //                       p50/p99 across all cycles) as hwgc-bench-v1 JSONL
 //     --trace-json=PATH export the whole session timeline — one telemetry
@@ -36,12 +40,20 @@
 //                       marked *storm in the panel)
 //     --supervise       health supervision + checkpoint/restore; the panel
 //                       grows a health column and a transition ticker
+// With --profile in service mode the shard table grows a binding-resource
+// column and a per-shard drill-down panel (top stall classes by share,
+// slowest request so far); --json appends the hwgc-profile-v1 section.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 
+#include "profile/critical_path.hpp"
+#include "profile/profile_metrics.hpp"
+#include "profile/request_trace.hpp"
 #include "runtime/runtime.hpp"
 #include "service/heap_service.hpp"
 #include "service/service_metrics.hpp"
@@ -66,6 +78,7 @@ struct CliOptions {
   bool supervise = false;        ///< --supervise: health + checkpoint/restore
   GcSchedulerKind scheduler = GcSchedulerKind::kProactive;
   bool no_clear = false;
+  bool profile = false;          ///< --profile: attribution drill-down panel
   std::string json_path;
   std::string trace_json;
 };
@@ -112,12 +125,25 @@ CliOptions parse(int argc, char** argv) {
       o.seed = std::strtoull(a.c_str() + 7, nullptr, 10);
     } else if (a == "--no-clear") {
       o.no_clear = true;
+    } else if (a == "--profile") {
+      o.profile = true;
     } else if (a.rfind("--json=", 0) == 0) {
       o.json_path = a.substr(7);
     } else if (a.rfind("--trace-json=", 0) == 0) {
       o.trace_json = a.substr(13);
     } else if (a == "--help" || a == "-h") {
-      std::printf("see the header of examples/gc_top.cpp for options\n");
+      std::printf(
+          "gc_top — live GC dashboard (see examples/gc_top.cpp for details)\n"
+          "  panel:   --cores=N --heap-words=N --collections=N --every=N\n"
+          "           --interval-ms=N --seed=N --faults=N --no-clear\n"
+          "  fleet:   --shards=N --scheduler=NAME --storm=PCT --supervise\n"
+          "  profile: --profile  adds the stall-attribution drill-down —\n"
+          "           a binding-resource column per shard, per-class share\n"
+          "           bars and the slowest request captured so far\n"
+          "  output:  --json=PATH --trace-json=PATH\n"
+          "keys: the dashboard is frame-driven, not keyboard-driven; the\n"
+          "only binding is Ctrl-C (quit). Use --no-clear to keep history\n"
+          "scrolling instead of redrawing in place.\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
@@ -212,6 +238,25 @@ void render(const CliOptions& o, const Runtime& rt, const ShadowMutator& mut) {
                                           : std::string(to_string(top)).c_str());
   }
 
+  if (rt.profiling_enabled() && !rt.profile_history().empty()) {
+    const CycleProfile& p = rt.profile_history().back();
+    std::printf("\nprofile: %s\n", critical_path(p).summary().c_str());
+    ProfileAttribution a;
+    a.source = "gc_top";
+    a.add(p);
+    for (std::size_t k = 0; k < kStallClassCount; ++k) {
+      const StallClass cls = static_cast<StallClass>(k);
+      const double share = a.share(cls);
+      if (share <= 0.0) continue;
+      const std::size_t w = static_cast<std::size_t>(share * 30 + 0.5);
+      std::string bar(w, '#');
+      bar.append(30 - std::min<std::size_t>(w, 30), '.');
+      std::printf("  %-19s %5.1f%% [%s]\n",
+                  std::string(to_string(cls)).c_str(), 100.0 * share,
+                  bar.c_str());
+    }
+  }
+
   const auto& rec = rt.recovery_history();
   if (!rec.empty()) {
     std::uint64_t fired = 0, attempts = 0, fallbacks = 0, deconf = 0;
@@ -254,8 +299,10 @@ void render_fleet(const CliOptions& o, const HeapService& service,
               static_cast<unsigned long long>(fleet.collections),
               static_cast<unsigned long long>(fleet.scheduled_collections),
               static_cast<unsigned long long>(service.now()));
-  std::printf("      %-20s %5s %6s %5s %8s %8s %6s %-7s %s\n", "occupancy",
-              "occ%", "roots", "gc", "p50", "p99", "stl%", "oracle", "health");
+  const bool prof = service.profiling();
+  std::printf("      %-20s %5s %6s %5s %8s %8s %6s %-7s %-11s%s\n",
+              "occupancy", "occ%", "roots", "gc", "p50", "p99", "stl%",
+              "oracle", "health", prof ? " binding" : "");
   for (std::size_t i = 0; i < service.shard_count(); ++i) {
     const ShardObservation ob = service.observe(i);
     const SloStats& s = service.shard_stats(i);
@@ -265,16 +312,54 @@ void render_fleet(const CliOptions& o, const HeapService& service,
                   static_cast<double>(s.latency.sum())
             : 0.0;
     std::printf(
-        "s%-4zu [%s] %4.0f%% %6llu %5llu %8llu %8llu %5.1f%% %-7s %s%s\n", i,
-        occupancy_bar(ob.occupancy, 20).c_str(), 100.0 * ob.occupancy,
+        "s%-4zu [%s] %4.0f%% %6llu %5llu %8llu %8llu %5.1f%% %-7s %-11s%s%s\n",
+        i, occupancy_bar(ob.occupancy, 20).c_str(), 100.0 * ob.occupancy,
         static_cast<unsigned long long>(ob.live_roots),
         static_cast<unsigned long long>(s.collections),
         static_cast<unsigned long long>(s.latency.percentile(0.50)),
         static_cast<unsigned long long>(s.latency.percentile(0.99)),
         stall_share, s.oracle_failures == 0 ? "ok" : "FAIL",
         to_string(service.shard_health(i)),
+        prof ? (" " +
+                std::string(to_string(service.shard_attribution(i).binding())))
+                   .c_str()
+             : "",
         service.storm().enabled() && service.storm().stormed(i) ? " *storm"
                                                                 : "");
+  }
+  if (prof) {
+    std::printf("\nprofile drill-down (cumulative per shard):\n");
+    for (std::size_t i = 0; i < service.shard_count(); ++i) {
+      const ProfileAttribution a = service.shard_attribution(i);
+      std::printf("  s%-3zu", i);
+      std::vector<std::pair<double, StallClass>> shares;
+      for (std::size_t k = 0; k < kStallClassCount; ++k) {
+        const StallClass cls = static_cast<StallClass>(k);
+        if (a.share(cls) > 0.0) shares.emplace_back(a.share(cls), cls);
+      }
+      std::sort(shares.begin(), shares.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      if (shares.empty()) std::printf(" (no profiled collections yet)");
+      for (std::size_t k = 0; k < std::min<std::size_t>(shares.size(), 3);
+           ++k) {
+        std::printf(" %s %4.1f%%",
+                    std::string(to_string(shares[k].second)).c_str(),
+                    100.0 * shares[k].first);
+      }
+      std::printf(" | %llu gc, %llu unprofiled\n",
+                  static_cast<unsigned long long>(a.collections),
+                  static_cast<unsigned long long>(a.unprofiled));
+    }
+    const std::vector<RequestExemplar> slow = service.slowest_requests();
+    if (!slow.empty()) {
+      const RequestExemplar& e = slow.front();
+      std::printf("  slowest request #%llu on s%zu: %llu clk "
+                  "(gc-inherited %llu, gc-own %llu)\n",
+                  static_cast<unsigned long long>(e.request_id), e.shard,
+                  static_cast<unsigned long long>(e.latency()),
+                  static_cast<unsigned long long>(e.inherited_stall),
+                  static_cast<unsigned long long>(e.own_gc));
+    }
   }
   if (service.resilient()) {
     const std::size_t shown =
@@ -308,6 +393,7 @@ int run_service_mode(const CliOptions& o) {
     cfg.storm.seed = o.seed;
   }
   cfg.resilience.supervise = o.supervise;
+  cfg.profile.enabled = o.profile;
   HeapService service(cfg);
 
   TelemetryBus bus;
@@ -337,11 +423,18 @@ int run_service_mode(const CliOptions& o) {
                 bus.epochs().size(), bus.spans().size(), o.trace_json.c_str());
   }
   if (!o.json_path.empty()) {
-    if (!write_service_jsonl(service, o.json_path, "gc_top")) {
+    bool wrote = write_service_jsonl(service, o.json_path, "gc_top");
+    if (wrote && service.profiling()) {
+      wrote = write_profile_jsonl(service, o.json_path, "gc_top",
+                                  /*append=*/true);
+    }
+    if (!wrote) {
       std::fprintf(stderr, "error: failed to write %s\n", o.json_path.c_str());
       return 1;
     }
-    std::printf("wrote %zu service record(s) to %s\n", service.shard_count() + 1,
+    std::printf("wrote %zu service record(s)%s to %s\n",
+                service.shard_count() + 1,
+                service.profiling() ? " + profile section" : "",
                 o.json_path.c_str());
   }
   return (mismatches == 0 && fleet.oracle_failures == 0) ? 0 : 1;
@@ -360,6 +453,7 @@ int main(int argc, char** argv) {
     cfg.fault.seed = o.seed;
   }
   Runtime rt(o.heap_words, cfg);
+  if (o.profile) rt.enable_profiling();
 
   TelemetryBus bus;
   if (!o.trace_json.empty()) rt.set_telemetry(&bus);
@@ -401,8 +495,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: failed to write %s\n", o.json_path.c_str());
       return 1;
     }
-    std::printf("wrote %zu aggregated metric record(s) to %s\n", reg.size(),
-                o.json_path.c_str());
+    if (o.profile) {
+      ProfileAttribution a;
+      a.source = "gc_top";
+      for (const auto& p : rt.profile_history()) a.add(p);
+      const std::string line = profile_attribution_jsonl(a, "gc_top");
+      std::ofstream f(o.json_path, std::ios::binary | std::ios::app);
+      f.write(line.data(), static_cast<std::streamsize>(line.size()));
+      f.flush();
+      if (!f.good()) {
+        std::fprintf(stderr, "error: failed to write %s\n",
+                     o.json_path.c_str());
+        return 1;
+      }
+    }
+    std::printf("wrote %zu aggregated metric record(s)%s to %s\n", reg.size(),
+                o.profile ? " + profile attribution" : "", o.json_path.c_str());
   }
   return mismatches == 0 ? 0 : 1;
 }

@@ -20,6 +20,11 @@
 //     --subobject       enable cache-line-granularity copying
 //     --concurrent      run the mutator concurrently (read barrier)
 //     --csv             one CSV row instead of the report
+//     --profile         per-cycle stall attribution (src/profile/): prints
+//                       the critical-path summary (binding resource, knee
+//                       run) and the per-class cycle shares; with
+//                       --trace-json the binding stream is merged into the
+//                       timeline as "crit:" notes. Ignored by --concurrent.
 //     --verify          check the heap against a pre-cycle snapshot
 //     --trace-json=PATH export the cycle's full telemetry timeline
 //                       (phases, per-core activity/stall spans, lock holds,
@@ -34,6 +39,8 @@
 #include "core/concurrent_cycle.hpp"
 #include "core/coprocessor.hpp"
 #include "heap/verifier.hpp"
+#include "profile/critical_path.hpp"
+#include "profile/profile_metrics.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_export.hpp"
 #include "workloads/benchmarks.hpp"
@@ -50,6 +57,7 @@ struct CliOptions {
   SimConfig sim;
   bool concurrent = false;
   bool csv = false;
+  bool profile = false;
   bool verify = false;
   std::string trace_json;  ///< empty: no timeline export
   std::string bench_json;  ///< empty: no metrics export
@@ -95,6 +103,8 @@ CliOptions parse(int argc, char** argv) {
       o.concurrent = true;
     } else if (a == "--csv") {
       o.csv = true;
+    } else if (a == "--profile") {
+      o.profile = true;
     } else if (a == "--verify") {
       o.verify = true;
     } else if (a.rfind("--trace-json=", 0) == 0) {
@@ -221,10 +231,30 @@ int main(int argc, char** argv) {
   Coprocessor coproc(o.sim, *w.heap);
   TelemetryBus bus;
   SignalTrace signals;
+  CycleProfiler profiler;
   const bool tracing = !o.trace_json.empty();
-  const GcCycleStats s = coproc.collect(tracing ? &signals : nullptr, nullptr,
-                                        nullptr, tracing ? &bus : nullptr);
+  const GcCycleStats s =
+      coproc.collect(tracing ? &signals : nullptr, nullptr, nullptr,
+                     tracing ? &bus : nullptr, o.profile ? &profiler : nullptr);
   print_report(o, s);
+  if (o.profile) {
+    const CycleProfile p = profiler.take_profile();
+    std::printf("  critical path      : %s\n",
+                critical_path(p).summary().c_str());
+    ProfileAttribution attr;
+    attr.source = o.workload;
+    attr.add(p);
+    std::printf("  cycle attribution (%% of core cycles):\n");
+    for (std::size_t k = 0; k < kStallClassCount; ++k) {
+      const StallClass cls = static_cast<StallClass>(k);
+      if (attr.cls[k] == 0) continue;
+      std::printf("    %-19s %12llu (%5.2f%%)\n",
+                  std::string(to_string(cls)).c_str(),
+                  static_cast<unsigned long long>(attr.cls[k]),
+                  100.0 * attr.share(cls));
+    }
+    if (tracing) annotate_critical_path(signals, p);
+  }
   if (o.verify) {
     const VerifyResult res = verify_collection(pre, *w.heap);
     std::printf("verifier: %s\n", res.summary().c_str());

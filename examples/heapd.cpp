@@ -62,6 +62,17 @@
 //   --json PATH         write hwgc-bench-v1 (per-shard GC aggregates) +
 //                       hwgc-service-v1 (latency/SLO) JSONL sections
 //   --trace-json PATH   Chrome-trace timeline of the FIRST configuration
+//   --profile           per-cycle stall attribution + request tracing
+//                       (src/profile/): prints each shard's binding
+//                       resource and the fleet's slowest request
+//   --exemplars N       slow-request exemplars kept per shard and fleet-
+//                       wide (default 4; implies nothing by itself)
+//   --profile-json PATH hwgc-profile-v1 JSONL — per-shard attribution
+//                       records + exemplar span trees for every sweep
+//                       point (implies --profile)
+//   --flame PATH        Chrome-trace flame view of the FIRST
+//                       configuration's exemplar span trees (implies
+//                       --profile)
 //   -v, --verbose       per-shard table for every configuration
 //
 // Unknown options and malformed values exit 2 with a usage summary on
@@ -77,6 +88,9 @@
 #include <thread>
 #include <vector>
 
+#include "profile/profile_metrics.hpp"
+#include "profile/request_trace.hpp"
+#include "profile/stall_class.hpp"
 #include "service/heap_service.hpp"
 #include "service/service_metrics.hpp"
 #include "telemetry/metrics.hpp"
@@ -108,6 +122,10 @@ struct Options {
   bool oracle = true;
   std::string json_path;
   std::string trace_json;
+  bool profile = false;
+  std::uint32_t exemplars = 4;
+  std::string profile_json;
+  std::string flame;
   bool verbose = false;
 };
 
@@ -136,6 +154,8 @@ void usage(std::FILE* to) {
       "  resil.:  --supervise  --deadline N  --retries N  --backoff N\n"
       "           --checkpoint-interval N  --restore-cost N\n"
       "  output:  --json PATH  --trace-json PATH  -v|--verbose\n"
+      "  profile: --profile  --exemplars N  --profile-json PATH"
+      "  --flame PATH\n"
       "see the header of examples/heapd.cpp for semantics\n");
 }
 
@@ -275,6 +295,14 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.json_path = next(i);
     } else if (a == "--trace-json") {
       opt.trace_json = next(i);
+    } else if (a == "--profile") {
+      opt.profile = true;
+    } else if (a == "--exemplars") {
+      opt.exemplars = static_cast<std::uint32_t>(next_u64(i));
+    } else if (a == "--profile-json") {
+      opt.profile_json = next(i);
+    } else if (a == "--flame") {
+      opt.flame = next(i);
     } else if (a == "-v" || a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--help" || a == "-h") {
@@ -291,6 +319,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
     die_usage("%s", "--storm-crashes requires --supervise (a crashed shard "
                     "must be quarantined and restored)");
   }
+  if (!opt.profile_json.empty() || !opt.flame.empty()) opt.profile = true;
   return true;
 }
 
@@ -317,6 +346,8 @@ ServiceConfig make_config(const Options& o, std::size_t shards,
   }
   cfg.storm = o.storm;
   cfg.resilience = o.resilience;
+  cfg.profile.enabled = o.profile;
+  cfg.profile.exemplars = o.exemplars;
   return cfg;
 }
 
@@ -340,7 +371,8 @@ void print_stats_row(const char* label, const SloStats& s) {
 /// cross-shard validation found anything.
 bool run_config(const Options& o, const ServiceConfig& cfg,
                 MetricsRegistry& registry, std::string& service_jsonl,
-                TelemetryBus* bus) {
+                std::string& profile_jsonl,
+                std::vector<RequestExemplar>* flame_out, TelemetryBus* bus) {
   HeapService service(cfg);
   if (bus != nullptr) service.set_telemetry(bus);
   service.serve(o.requests);
@@ -449,6 +481,32 @@ bool run_config(const Options& o, const ServiceConfig& cfg,
     // ...and latency/SLO accounting in the service-v1 section.
     service_jsonl += service_report_jsonl(service, "heapd");
   }
+  if (service.profiling()) {
+    std::printf("  profile: binding resource per shard:");
+    for (std::size_t i = 0; i < service.shard_count(); ++i) {
+      std::printf(" s%zu=%s", i,
+                  std::string(to_string(service.shard_attribution(i).binding()))
+                      .c_str());
+    }
+    std::printf("\n");
+    const std::vector<RequestExemplar> slow = service.slowest_requests();
+    if (!slow.empty()) {
+      const RequestExemplar& e = slow.front();
+      std::printf("  profile: slowest request #%llu on s%zu: %llu clk "
+                  "(wait %llu, gc-inherited %llu, gc-own %llu, service %llu, "
+                  "%u hop(s))\n\n",
+                  static_cast<unsigned long long>(e.request_id), e.shard,
+                  static_cast<unsigned long long>(e.latency()),
+                  static_cast<unsigned long long>(e.start - e.arrival),
+                  static_cast<unsigned long long>(e.inherited_stall),
+                  static_cast<unsigned long long>(e.own_gc),
+                  static_cast<unsigned long long>(e.service), e.hops);
+    }
+    if (!o.profile_json.empty()) {
+      profile_jsonl += profile_report_jsonl(service, "heapd");
+    }
+    if (flame_out != nullptr) *flame_out = slow;
+  }
   return ok;
 }
 
@@ -460,6 +518,8 @@ int main(int argc, char** argv) {
 
   MetricsRegistry registry;
   std::string service_jsonl;
+  std::string profile_jsonl;
+  std::vector<RequestExemplar> flame;
   TelemetryBus bus;
   bool all_ok = true;
   bool first = true;
@@ -470,8 +530,11 @@ int main(int argc, char** argv) {
         const ServiceConfig cfg = make_config(opt, shards, sched, load);
         TelemetryBus* attach =
             (first && !opt.trace_json.empty()) ? &bus : nullptr;
+        std::vector<RequestExemplar>* flame_out =
+            (first && !opt.flame.empty()) ? &flame : nullptr;
         first = false;
-        all_ok &= run_config(opt, cfg, registry, service_jsonl, attach);
+        all_ok &= run_config(opt, cfg, registry, service_jsonl, profile_jsonl,
+                             flame_out, attach);
       }
     }
   }
@@ -500,6 +563,27 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %zu bench record(s) + service records to %s\n",
                 registry.size(), opt.json_path.c_str());
+  }
+  if (!opt.profile_json.empty()) {
+    std::ofstream f(opt.profile_json, std::ios::binary);
+    f.write(profile_jsonl.data(),
+            static_cast<std::streamsize>(profile_jsonl.size()));
+    f.flush();
+    if (!f.good()) {
+      std::fprintf(stderr, "error: failed to write %s\n",
+                   opt.profile_json.c_str());
+      return 1;
+    }
+    std::printf("wrote profile attribution + exemplar spans to %s\n",
+                opt.profile_json.c_str());
+  }
+  if (!opt.flame.empty()) {
+    if (!write_exemplar_flame(flame, opt.flame)) {
+      std::fprintf(stderr, "error: failed to write %s\n", opt.flame.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu exemplar span tree(s) to %s\n", flame.size(),
+                opt.flame.c_str());
   }
   return all_ok ? 0 : 1;
 }

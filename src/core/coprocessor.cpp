@@ -17,14 +17,19 @@ namespace hwgc {
 GcCycleStats Coprocessor::collect(SignalTrace* trace,
                                   ScheduleTrace* schedule_trace,
                                   FaultInjector* fault,
-                                  TelemetryBus* telemetry) {
+                                  TelemetryBus* telemetry,
+                                  CycleProfiler* profiler) {
   const std::uint32_t n = cfg_.coprocessor.num_cores;
   if (n == 0) throw std::invalid_argument("coprocessor needs >= 1 core");
 
   SyncBlock sb(n, fault);
   MemorySystem mem(cfg_.memory, n, fault);
   HeaderFifo fifo(cfg_.coprocessor.header_fifo_capacity);
-  GcContext ctx{sb, mem, fifo, heap_, cfg_.coprocessor, telemetry};
+  GcContext ctx{sb, mem, fifo, heap_, cfg_.coprocessor, telemetry, profiler};
+  // A fresh attribution per attempt: an aborted attempt's partial profile
+  // is wiped by the next begin_collection, so only the attempt that
+  // completes survives in the profiler.
+  if (profiler != nullptr) profiler->begin_collection(n);
 
   std::uint32_t sig_graywords_series = 0;
   if (telemetry != nullptr) {
@@ -148,6 +153,7 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
   const bool ff_active =
       cfg_.coprocessor.fast_forward && telemetry == nullptr && fixed_order;
   std::vector<GcCore::FfPoll> ff_class(n);
+  std::vector<StallClass> ff_prof_cls(profiler != nullptr ? n : 0);
   const auto try_fast_forward = [&]() -> Cycle {
     // Memory gate: nothing acceptable queued, no completion due this cycle.
     if (!mem.ff_quiescent()) return 0;
@@ -239,6 +245,27 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
       if (schedule_trace != nullptr) {
         schedule_trace->record_repeated(now, k, step_order);
       }
+      if (profiler != nullptr) {
+        // The per-core classes are constant across the quiescent window,
+        // so absorbing k copies of this snapshot reproduces the ticked
+        // run's attribution (and its binding stream) exactly.
+        for (CoreId c = 0; c < n; ++c) {
+          switch (ff_class[c].kind) {
+            case GcCore::FfPoll::Kind::kStall:
+              ff_prof_cls[c] = class_of(ff_class[c].reason);
+              break;
+            case GcCore::FfPoll::Kind::kIdle:
+              ff_prof_cls[c] = StallClass::kWorklistStarved;
+              break;
+            default:  // kSkip: done core misses its clock
+              ff_prof_cls[c] = StallClass::kIdleDeconfigured;
+              break;
+          }
+        }
+        profiler->absorb(ff_prof_cls, k);
+      }
+    } else if (profiler != nullptr) {
+      profiler->absorb_drain(k);
     }
     return k;
   };
@@ -328,6 +355,12 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
           trace->sample(now, sig_busy, busy);
         }
       }
+      // Fold this cycle's per-core records (cores that missed their clock
+      // — fail-stopped or already done — fold as idle-deconfigured) and
+      // commit the cycle's binding class to the critical path.
+      if (profiler != nullptr) profiler->end_cycle();
+    } else if (profiler != nullptr) {
+      profiler->drain_cycle();  // cores halted, store-drain window
     }
     ++now;
     if (cores_halted && (mem.stores_drained() ||
@@ -360,6 +393,7 @@ GcCycleStats Coprocessor::collect(SignalTrace* trace,
     telemetry->end_collection(now);
   }
 
+  if (profiler != nullptr) profiler->end_collection();
   stats.total_cycles = now;
   stats.drain_cycles = now - halted_at;
   stats.restart_stores_drained = mem.stores_drained();

@@ -29,6 +29,7 @@ namespace hwgc {
 class ScheduleTrace;
 class FaultInjector;
 class TelemetryBus;
+class CycleProfiler;
 
 class Coprocessor {
  public:
@@ -68,10 +69,18 @@ class Coprocessor {
   /// epoch is closed with an abort instant before the exception propagates.
   /// Pure observation: simulated cycle counts are identical with and
   /// without a bus attached.
+  ///
+  /// `profiler`, when non-null, receives an exclusive stall-class
+  /// attribution for every cycle of every core (profile/stall_class.hpp)
+  /// plus the per-cycle binding class for the critical path. Unlike the
+  /// telemetry bus it does not disable fast-forward: quiescent windows
+  /// carry constant per-core classes, so they are absorbed in bulk and
+  /// the resulting CycleProfile is bit-identical to a ticked run.
   GcCycleStats collect(SignalTrace* trace = nullptr,
                        ScheduleTrace* schedule_trace = nullptr,
                        FaultInjector* fault = nullptr,
-                       TelemetryBus* telemetry = nullptr);
+                       TelemetryBus* telemetry = nullptr,
+                       CycleProfiler* profiler = nullptr);
 
   const SimConfig& config() const noexcept { return cfg_; }
 

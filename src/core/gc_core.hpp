@@ -21,6 +21,7 @@
 #include "heap/heap.hpp"
 #include "mem/header_fifo.hpp"
 #include "mem/memory_system.hpp"
+#include "profile/cycle_profiler.hpp"
 #include "sim/config.hpp"
 #include "sim/counters.hpp"
 #include "sim/types.hpp"
@@ -36,6 +37,11 @@ struct GcContext {
   Heap& heap;
   CoprocessorConfig cfg;
   TelemetryBus* bus = nullptr;  ///< optional observability sink
+  /// Optional stall-attribution sink (profile/cycle_profiler.hpp). Same
+  /// pay-for-use contract as the bus: null costs one branch per
+  /// core-cycle — but unlike the bus it does not suppress fast-forward
+  /// (quiescent windows are absorbed in bulk, bit-identically).
+  CycleProfiler* profiler = nullptr;
 };
 
 class GcCore {
@@ -134,14 +140,17 @@ class GcCore {
     if (ctx_.bus != nullptr) {
       ctx_.bus->core_cycle(id_, CoreActivity::kStall, r);
     }
+    if (ctx_.profiler != nullptr) ctx_.profiler->record_stall(id_, r);
   }
   void work() {
     ++counters_.busy_cycles;
     if (ctx_.bus != nullptr) ctx_.bus->core_cycle(id_, CoreActivity::kBusy);
+    if (ctx_.profiler != nullptr) ctx_.profiler->record_work(id_);
   }
   void idle() {
     ++counters_.idle_cycles;
     if (ctx_.bus != nullptr) ctx_.bus->core_cycle(id_, CoreActivity::kIdle);
+    if (ctx_.profiler != nullptr) ctx_.profiler->record_idle(id_);
   }
 
   // State handlers; each models exactly one clock cycle.

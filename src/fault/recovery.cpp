@@ -5,6 +5,7 @@
 
 #include "baselines/sequential_cheney.hpp"
 #include "core/coprocessor.hpp"
+#include "profile/cycle_profiler.hpp"
 #include "telemetry/telemetry_bus.hpp"
 
 namespace hwgc {
@@ -68,7 +69,8 @@ Cycle RecoveringCollector::watchdog_budget(Word live_words) const noexcept {
 }
 
 RecoveryReport RecoveringCollector::collect(SignalTrace* trace,
-                                            TelemetryBus* telemetry) {
+                                            TelemetryBus* telemetry,
+                                            CycleProfiler* profiler) {
   RecoveryReport report;
   report.faults_injected = injector_.plan().size();
   injector_.attach_trace(trace);
@@ -107,7 +109,8 @@ RecoveryReport RecoveringCollector::collect(SignalTrace* trace,
     Coprocessor coproc(attempt_cfg, heap_);
     bool aborted = false;
     try {
-      report.stats = coproc.collect(trace, nullptr, &injector_, telemetry);
+      report.stats =
+          coproc.collect(trace, nullptr, &injector_, telemetry, profiler);
       rec.cycles = report.stats.total_cycles;
       if (cfg_.recovery.verify_heap) {
         const VerifyResult vr = verify_collection(pre, heap_);
@@ -206,6 +209,10 @@ RecoveryReport RecoveringCollector::collect(SignalTrace* trace,
       report.stats.words_copied = seq.words_copied;
       report.stats.pointers_forwarded = seq.pointers_forwarded;
       report.stats.restart_stores_drained = true;
+      // The fallback runs outside the coprocessor clock — there are no
+      // simulated cycles to attribute, only the failed attempt's partial
+      // profile, which must not escape as if it covered this collection.
+      if (profiler != nullptr) profiler->mark_unprofiled();
     }
   }
 

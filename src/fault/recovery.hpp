@@ -33,6 +33,8 @@
 
 namespace hwgc {
 
+class CycleProfiler;
+
 /// Outcome of one collection attempt inside the recovery loop.
 struct AttemptRecord {
   std::uint32_t attempt = 0;
@@ -93,8 +95,15 @@ class RecoveringCollector {
   /// `telemetry`, when non-null, records every attempt as its own epoch
   /// plus recovery-track instants for image restores, core deconfigurations
   /// and the sequential fallback.
+  ///
+  /// `profiler`, when non-null, is threaded into every coprocessor attempt;
+  /// each attempt resets it, so on return it holds the attribution of the
+  /// final successful attempt only. The sequential fallback runs on the
+  /// main processor, outside the coprocessor clock, so it marks the
+  /// profile unprofiled instead of inventing cycle classes.
   RecoveryReport collect(SignalTrace* trace = nullptr,
-                         TelemetryBus* telemetry = nullptr);
+                         TelemetryBus* telemetry = nullptr,
+                         CycleProfiler* profiler = nullptr);
 
   const FaultInjector& injector() const noexcept { return injector_; }
 

@@ -11,6 +11,11 @@
 // to memory through the normal store path); the scanning core then takes a
 // FIFO miss for that object and must load the header from memory while
 // holding the scan lock — the effect the paper observes for `cup`.
+//
+// Attribution note: a header *store* stalled behind this FIFO is charged
+// to the `fifo-backpressure` StallClass by the cycle profiler; the FIFO
+// *miss* path surfaces as `mem-port-contention` on the scanning core
+// (the header load it forces), matching how Table II separates the two.
 #pragma once
 
 #include <cstdint>

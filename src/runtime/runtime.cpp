@@ -110,11 +110,13 @@ void Runtime::restore_image(const Image& img) {
 
 const GcCycleStats& Runtime::collect() {
   if (observer_ != nullptr) observer_->before_collection(*this);
+  CycleProfiler profiler;
+  CycleProfiler* prof = profiling_ ? &profiler : nullptr;
   // Allocation into the current space is dense, so alloc_ptr is already
   // consistent; the coprocessor flips the heap and republishes it.
   if (cfg_.fault.enabled() || cfg_.recovery.enabled) {
     RecoveringCollector collector(cfg_, heap_);
-    RecoveryReport report = collector.collect(nullptr, telemetry_);
+    RecoveryReport report = collector.collect(nullptr, telemetry_, prof);
     if (!report.ok) {
       recovery_history_.push_back(std::move(report));
       throw std::runtime_error(
@@ -125,7 +127,8 @@ const GcCycleStats& Runtime::collect() {
     recovery_history_.push_back(std::move(report));
   } else {
     Coprocessor coproc(cfg_, heap_);
-    history_.push_back(coproc.collect(nullptr, nullptr, nullptr, telemetry_));
+    history_.push_back(
+        coproc.collect(nullptr, nullptr, nullptr, telemetry_, prof));
   }
   // Section V-E: "the main processor is only restarted after all updates
   // are written back to the memory". A cycle whose store buffers had not
@@ -137,6 +140,9 @@ const GcCycleStats& Runtime::collect() {
         "Runtime: mutator restart with undrained GC store buffers "
         "(Section V-E restart condition violated)");
   }
+  // Kept aligned with history_: pushed only once the cycle is accepted
+  // (the drain-violation path above pops and never reaches here).
+  if (prof != nullptr) profile_history_.push_back(profiler.take_profile());
   if (observer_ != nullptr) observer_->after_collection(*this, history_.back());
   return history_.back();
 }

@@ -16,6 +16,7 @@
 
 #include "fault/recovery.hpp"
 #include "heap/heap.hpp"
+#include "profile/cycle_profiler.hpp"
 #include "sim/config.hpp"
 #include "sim/counters.hpp"
 
@@ -136,6 +137,24 @@ class Runtime {
   void set_telemetry(TelemetryBus* bus) noexcept { telemetry_ = bus; }
   TelemetryBus* telemetry() const noexcept { return telemetry_; }
 
+  /// Turns per-cycle stall attribution on or off for future collections.
+  /// Pay-for-use: off (the default) leaves every hot path untouched and
+  /// keeps traces and telemetry bit-identical to a build without the
+  /// profiler. On, every collection appends one CycleProfile to
+  /// profile_history() — index-aligned with gc_history() as long as
+  /// profiling stays enabled for the runtime's whole life (the service
+  /// layer enables it at shard construction and never toggles it).
+  void enable_profiling(bool on = true) noexcept { profiling_ = on; }
+  bool profiling_enabled() const noexcept { return profiling_; }
+
+  /// One CycleProfile per collection run while profiling was enabled
+  /// (invalid — `valid == false` — for cycles that fell back to the
+  /// sequential software collector, which runs outside the coprocessor
+  /// clock).
+  const std::vector<CycleProfile>& profile_history() const noexcept {
+    return profile_history_;
+  }
+
   /// Attaches an observer notified around every collection cycle (explicit
   /// or allocation-triggered). Pass nullptr to detach.
   void set_collection_observer(CollectionObserver* obs) noexcept {
@@ -191,6 +210,8 @@ class Runtime {
   std::vector<std::size_t> free_slots_;
   std::vector<GcCycleStats> history_;
   std::vector<RecoveryReport> recovery_history_;
+  std::vector<CycleProfile> profile_history_;
+  bool profiling_ = false;
   std::uint64_t drain_violations_ = 0;
   std::size_t root_high_water_ = 0;
   TelemetryBus* telemetry_ = nullptr;

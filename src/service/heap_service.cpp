@@ -47,11 +47,14 @@ struct HeapService::ShardState final : CollectionObserver {
                        (storm.enabled() && storm.stormed(index_))),
         oracle(cfg.oracle),
         resilient(cfg.resilience.enabled()),
+        profiling(cfg.profile.enabled),
+        exemplar_cap(cfg.profile.exemplars),
         checkpoint_interval(cfg.resilience.checkpoint_interval),
         sessions(cfg.traffic.sessions),
         rt(cfg.semispace_words, shard_sim_config(index_, cfg, storm)),
         mutator(shard_mutator_config(index_, cfg)) {
     rt.set_collection_observer(this);
+    if (profiling) rt.enable_profiling();
     if (resilient) {
       // Checkpoint 0: the pristine construction state, so a restore is
       // always possible even before the first verified-clean cycle.
@@ -107,6 +110,14 @@ struct HeapService::ShardState final : CollectionObserver {
     ++stats.collections;
     stats.gc_cycle_total += s.total_cycles;
     pending_gc += s.total_cycles;
+    if (profiling) {
+      // Link key for the exemplar span trees: the slot this cycle took in
+      // the runtime's gc_history / profile_history (pushed just before the
+      // observer ran).
+      pending_charges.push_back(
+          {static_cast<long long>(r.gc_history().size()) - 1,
+           s.total_cycles});
+    }
     requests_since_gc = 0;
     if (!r.recovery_history().empty()) {
       const RecoveryReport& rep = r.recovery_history().back();
@@ -160,6 +171,8 @@ struct HeapService::ShardState final : CollectionObserver {
     clean_cycles = 0;
     gc_backlog = 0;
     pending_gc = 0;
+    pending_charges.clear();
+    uncharged.clear();
     requests_since_gc = 0;
     ring_pos = 0;
     ring_size = 0;
@@ -207,10 +220,18 @@ struct HeapService::ShardState final : CollectionObserver {
     return g;
   }
 
+  std::vector<GcCharge> take_pending_charges() {
+    std::vector<GcCharge> c = std::move(pending_charges);
+    pending_charges.clear();
+    return c;
+  }
+
   const std::size_t index;
   const bool fault_injected;
   const bool oracle;
   const bool resilient;
+  const bool profiling;
+  const std::size_t exemplar_cap;
   const std::uint32_t checkpoint_interval;
   const std::uint32_t sessions;
   Runtime rt;
@@ -221,6 +242,13 @@ struct HeapService::ShardState final : CollectionObserver {
                                 ///< not yet charged to any request
   std::uint64_t requests_since_gc = 0;
   Cycle pending_gc = 0;         ///< cycles collected since last harvest
+
+  // --- Profiling state (lane-owned, mirrors the cycle bookkeeping above;
+  // all empty when profiling is off) --------------------------------------
+  std::vector<GcCharge> pending_charges;  ///< charge twins of pending_gc
+  std::vector<GcCharge> uncharged;        ///< charge twins of gc_backlog
+  std::vector<RequestExemplar> exemplars; ///< this lane's K slowest
+
   std::optional<HeapSnapshot> pre;
   SloStats stats;
   std::vector<std::string> oracle_diagnostics;
@@ -309,6 +337,7 @@ std::vector<ShardObservation> HeapService::observations(Cycle at) const {
 
 void HeapService::run_scheduled_collection(ShardState& shard, Cycle at) {
   shard.pending_gc = 0;
+  shard.pending_charges.clear();
   if (shard.resilient) {
     // A scheduler-forced cycle can die on a stormed shard too; record the
     // failure for the supervisor instead of unwinding the conductor. The
@@ -326,6 +355,12 @@ void HeapService::run_scheduled_collection(ShardState& shard, Cycle at) {
   const Cycle dur = shard.take_pending_gc();
   shard.next_free = std::max(shard.next_free, at) + dur;
   shard.gc_backlog += dur;
+  if (shard.profiling) {
+    // The cycles went into the backlog; their charge records ride along
+    // until a later completion inherits them as stall.
+    std::vector<GcCharge> c = shard.take_pending_charges();
+    shard.uncharged.insert(shard.uncharged.end(), c.begin(), c.end());
+  }
   ++shard.stats.scheduled_collections;
 }
 
@@ -333,10 +368,12 @@ void HeapService::run_scheduled_collection(ShardState& shard, Cycle at) {
 /// shard's pool lane (or inline in serial mode). `req.arrival` is final by
 /// the time this executes; the lane's FIFO order makes the shard see the
 /// exact serial sequence of collections and requests. `penalty` is retry
-/// backoff accrued by failover routing (part of the request's queue
-/// latency); `rerouted` marks a completion on a non-home shard.
+/// backoff accrued over `hops` failover hops (part of the request's queue
+/// latency); `req_id` is the conductor-assigned fleet-unique id exemplar
+/// capture keys on.
 void HeapService::execute_request(ShardState& sh, const Request& req,
-                                  Cycle penalty, bool rerouted) {
+                                  Cycle penalty, std::uint32_t hops,
+                                  std::uint64_t req_id) {
   ++sh.stats.offered;
   const Cycle start = std::max(req.arrival + penalty, sh.next_free);
   const Cycle wait = start - req.arrival;
@@ -349,8 +386,14 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
   const Cycle inherited_stall = std::min(wait, sh.gc_backlog);
   const Cycle prior_gc_backlog = sh.gc_backlog;
   sh.gc_backlog = 0;
+  std::vector<GcCharge> inherited;
+  if (sh.profiling) {
+    inherited = std::move(sh.uncharged);
+    sh.uncharged.clear();
+  }
 
   sh.pending_gc = 0;
+  sh.pending_charges.clear();
   std::uint32_t steps = 0;
   std::size_t read_words = 0;
   bool failed = false;
@@ -380,6 +423,8 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
   // Cycles of exhaustion-triggered collection during this request's own
   // execution (harvested from the observer).
   const Cycle own_gc = sh.take_pending_gc();
+  std::vector<GcCharge> own;
+  if (sh.profiling) own = sh.take_pending_charges();
   if (failed) {
     // The request dies without a completion record, so it charges no
     // latency components. GC debt — what it would have inherited plus
@@ -388,6 +433,12 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
     // charging rule holds — this request charges nothing).
     sh.next_free = start + own_gc;
     sh.gc_backlog = prior_gc_backlog + own_gc;
+    if (sh.profiling) {
+      // Charge records track the backlog exactly: restore the inherited
+      // list and append the cycles that ran before the failure.
+      sh.uncharged = std::move(inherited);
+      sh.uncharged.insert(sh.uncharged.end(), own.begin(), own.end());
+    }
     ++sh.stats.failed;
     return;
   }
@@ -396,7 +447,23 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
 
   sh.next_free = start + own_gc + service;
   ++sh.stats.completed;
-  if (rerouted) ++sh.stats.retried;
+  if (hops > 0) ++sh.stats.retried;
+  if (sh.profiling) {
+    RequestExemplar e;
+    e.request_id = req_id;
+    e.shard = sh.index;
+    e.arrival = req.arrival;
+    e.start = start;
+    e.completion = start + own_gc + service;
+    e.penalty = penalty;
+    e.inherited_stall = inherited_stall;
+    e.own_gc = own_gc;
+    e.service = service;
+    e.hops = hops;
+    e.own = std::move(own);
+    e.inherited = std::move(inherited);
+    insert_exemplar(sh.exemplars, sh.exemplar_cap, std::move(e));
+  }
   ++sh.completed_since_checkpoint;
   ++sh.requests_since_gc;
   sh.stats.latency.record(total);
@@ -453,12 +520,13 @@ void HeapService::restore_shard(std::size_t shard, Cycle at) {
   pool_->submit(shard, [sh, ready] { sh->run_restore(ready); });
 }
 
-std::size_t HeapService::route(const Request& req, Cycle& penalty) {
+std::size_t HeapService::route(const Request& req, Cycle& penalty,
+                               std::uint32_t& hops) {
   const ResilienceConfig& rc = cfg_.resilience;
   const std::size_t n = shards_.size();
-  const std::size_t hops =
+  const std::size_t max_hops =
       std::min<std::size_t>(std::size_t{rc.max_retries} + 1, n);
-  for (std::size_t h = 0; h < hops; ++h) {
+  for (std::size_t h = 0; h < max_hops; ++h) {
     const std::size_t cand = (req.shard + h) % n;
     penalty = rc.retry_backoff * h;
     const Cycle eff = req.arrival + penalty;
@@ -470,9 +538,11 @@ std::size_t HeapService::route(const Request& req, Cycle& penalty) {
     if (rc.deadline_cycles > 0 && backlog + penalty > rc.deadline_cycles) {
       continue;
     }
+    hops = static_cast<std::uint32_t>(h);
     return cand;
   }
   penalty = 0;
+  hops = 0;
   return ServiceConfig::kNoShard;
 }
 
@@ -518,6 +588,7 @@ void HeapService::serve(std::uint64_t requests) {
 
     std::size_t target = home;
     Cycle penalty = 0;
+    std::uint32_t hops = 0;
     if (resilient) {
       pool_->join(home);
       supervise(home, req.arrival);
@@ -533,7 +604,7 @@ void HeapService::serve(std::uint64_t requests) {
       }
       // Failover routing with deadline budget; shed when no serving shard
       // can take the request.
-      target = route(req, penalty);
+      target = route(req, penalty, hops);
       if (target == ServiceConfig::kNoShard) {
         ++sh.stats.offered;
         ++sh.stats.rejected;
@@ -578,9 +649,9 @@ void HeapService::serve(std::uint64_t requests) {
     }
 
     ShardState* ts = shards_[target].get();
-    const bool rerouted = target != home;
-    pool_->submit(target, [this, ts, req, penalty, rerouted] {
-      execute_request(*ts, req, penalty, rerouted);
+    const std::uint64_t req_id = offered_;
+    pool_->submit(target, [this, ts, req, penalty, hops, req_id] {
+      execute_request(*ts, req, penalty, hops, req_id);
     });
   }
   pool_->join_all();
@@ -643,6 +714,25 @@ ShardHealth HeapService::fleet_health() const {
 const std::vector<HealthEvent>& HeapService::health_events() const {
   static const std::vector<HealthEvent> kEmpty;
   return supervisor_ ? supervisor_->events() : kEmpty;
+}
+
+ProfileAttribution HeapService::shard_attribution(std::size_t shard) const {
+  const ShardState& s = *shards_.at(shard);
+  ProfileAttribution a;
+  a.source = "service";
+  a.shard = static_cast<long long>(shard);
+  for (const CycleProfile& p : s.rt.profile_history()) a.add(p);
+  return a;
+}
+
+std::vector<RequestExemplar> HeapService::slowest_requests() const {
+  std::vector<RequestExemplar> top;
+  for (const auto& s : shards_) {
+    for (const RequestExemplar& e : s->exemplars) {
+      insert_exemplar(top, cfg_.profile.exemplars, e);
+    }
+  }
+  return top;
 }
 
 void HeapService::set_telemetry(TelemetryBus* bus) {

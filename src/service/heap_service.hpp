@@ -44,6 +44,7 @@
 
 #include "fault/fault_storm.hpp"
 #include "heap/verifier.hpp"
+#include "profile/request_trace.hpp"
 #include "runtime/runtime.hpp"
 #include "service/scheduler.hpp"
 #include "service/slo.hpp"
@@ -103,6 +104,18 @@ struct ServiceConfig {
   /// with deadline budgets and load shedding. Disabled by default — the
   /// engine is then byte-identical to the pre-resilience service.
   ResilienceConfig resilience{};
+
+  /// Request tracing + stall attribution (src/profile/). Off by default;
+  /// the serving math is untouched either way — profiling only *observes*
+  /// (per-shard CycleProfiles, GC charge links, slow-request exemplars),
+  /// so disabled runs are byte-identical to a profile-free build.
+  /// `exemplars` bounds both the per-shard capture buffers and the fleet
+  /// top-K returned by slowest_requests().
+  struct ProfileConfig {
+    bool enabled = false;
+    std::uint32_t exemplars = 4;
+  };
+  ProfileConfig profile{};
 
   /// Host threads executing shard work (simulation, not virtual time).
   /// <= 1 runs everything inline on the caller's thread — the serial
@@ -178,13 +191,28 @@ class HeapService {
   /// The storm plan in effect (enabled() false without a storm config).
   const FaultStorm& storm() const noexcept { return storm_; }
 
+  // --- Profiling (cfg.profile.enabled) -------------------------------------
+
+  bool profiling() const noexcept { return cfg_.profile.enabled; }
+
+  /// Stall-attribution aggregate over every collection the shard has run
+  /// (source "service"). Call between serve() calls — the lanes are then
+  /// drained. Empty (zero collections) when profiling is off.
+  ProfileAttribution shard_attribution(std::size_t shard) const;
+
+  /// The fleet's K slowest completed requests (cfg.profile.exemplars), in
+  /// RequestExemplar::slower order — deterministic across host thread
+  /// counts because ids are conductor-assigned and each lane's top-K is
+  /// merged with the same comparator. Empty when profiling is off.
+  std::vector<RequestExemplar> slowest_requests() const;
+
  private:
   struct ShardState;
 
   std::vector<ShardObservation> observations(Cycle at) const;
   void run_scheduled_collection(ShardState& shard, Cycle at);
   void execute_request(ShardState& shard, const Request& req, Cycle penalty,
-                       bool rerouted);
+                       std::uint32_t hops, std::uint64_t req_id);
   void rebuild_pool();
 
   /// Harvests the shard's health signals (its lane must be joined) and
@@ -198,9 +226,10 @@ class HeapService {
 
   /// Failover routing: picks the first serving candidate in (home + k) %
   /// shards order whose backlog passes admission and the deadline budget;
-  /// sets `penalty` to the accumulated retry backoff. Returns
-  /// ServiceConfig::kNoShard when every candidate fails (shed).
-  std::size_t route(const Request& req, Cycle& penalty);
+  /// sets `penalty` to the accumulated retry backoff and `hops` to the
+  /// number of failover hops taken. Returns ServiceConfig::kNoShard when
+  /// every candidate fails (shed).
+  std::size_t route(const Request& req, Cycle& penalty, std::uint32_t& hops);
 
   ServiceConfig cfg_;
   TrafficModel traffic_;

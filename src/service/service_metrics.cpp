@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "profile/profile_metrics.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace hwgc {
@@ -145,6 +146,27 @@ bool write_service_jsonl(const HeapService& service, const std::string& path,
   return f.good();
 }
 
+std::string profile_report_jsonl(const HeapService& service,
+                                 const std::string& suite) {
+  std::string out;
+  for (std::size_t i = 0; i < service.shard_count(); ++i) {
+    out += profile_attribution_jsonl(service.shard_attribution(i), suite);
+  }
+  out += exemplar_spans_jsonl(service.slowest_requests(), suite);
+  return out;
+}
+
+bool write_profile_jsonl(const HeapService& service, const std::string& path,
+                         const std::string& suite, bool append) {
+  std::ofstream f(path, append ? std::ios::binary | std::ios::app
+                               : std::ios::binary);
+  if (!f) return false;
+  const std::string jsonl = profile_report_jsonl(service, suite);
+  f.write(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
+  f.flush();
+  return f.good();
+}
+
 bool validate_service_jsonl_line(const std::string& line, std::string* error) {
   std::vector<std::pair<std::string, std::string>> kv;
   if (!parse_flat_json_object(line, kv, error)) return false;
@@ -238,6 +260,7 @@ bool validate_file_with(const std::string& path,
   std::size_t lineno = 0;
   std::size_t records = 0;
   bool ok = true;
+  ProfileSpanChecker spans;  // file-level duplicate-span-id check
   while (std::getline(f, line)) {
     ++lineno;
     if (line.empty()) continue;
@@ -252,7 +275,7 @@ bool validate_file_with(const std::string& path,
       }
       continue;
     }
-    if (!v(line, &err)) {
+    if (!v(line, &err) || !spans.check(line, &err)) {
       ok = false;
       if (errors != nullptr) {
         errors->push_back(path + ":" + std::to_string(lineno) + ": " + err);
@@ -276,6 +299,9 @@ LineValidator dispatch_by_schema(const std::string& line) {
   }
   if (line.find("\"schema\":\"hwgc-bench-v1\"") != std::string::npos) {
     return &validate_bench_jsonl_line;
+  }
+  if (line.find("\"schema\":\"hwgc-profile-v1\"") != std::string::npos) {
+    return &validate_profile_jsonl_line;
   }
   return nullptr;
 }

@@ -47,10 +47,23 @@ bool validate_service_jsonl_line(const std::string& line, std::string* error);
 bool validate_service_jsonl_file(const std::string& path,
                                  std::vector<std::string>* errors);
 
+/// The service's hwgc-profile-v1 section (cfg.profile.enabled runs): one
+/// attribution record per shard followed by the span trees of the fleet's
+/// K slowest requests. Deterministic byte-for-byte, at any host thread
+/// count. Call between serve() calls (lanes drained).
+std::string profile_report_jsonl(const HeapService& service,
+                                 const std::string& suite);
+
+/// Appends (or writes) profile_report_jsonl() to `path`, exactly like
+/// write_service_jsonl. Returns false on I/O failure.
+bool write_profile_jsonl(const HeapService& service, const std::string& path,
+                         const std::string& suite, bool append = false);
+
 /// Mixed-schema gate: validates every line of `path` against the schema its
-/// "schema" field names (hwgc-bench-v1 or hwgc-service-v1); unknown or
-/// missing schemas are violations. This is what examples/bench_validate
-/// runs over CI artifacts.
+/// "schema" field names (hwgc-bench-v1, hwgc-service-v1 or
+/// hwgc-profile-v1); unknown or missing schemas are violations, and
+/// duplicate profile span ids are caught file-wide. This is what
+/// examples/bench_validate runs over CI artifacts.
 bool validate_metrics_jsonl_file(const std::string& path,
                                  std::vector<std::string>* errors);
 

@@ -5,6 +5,11 @@
 // taxonomy of Table II — per-core stall counters for the two pointer locks,
 // the header-lock CAM and the four memory buffers — plus the worklist-empty
 // counter behind Table I.
+//
+// The profiler (src/profile/stall_class.hpp) folds these per-reason
+// counters into its coarser exclusive StallClass taxonomy via
+// class_of(StallReason) — that map must stay total, so any new
+// StallReason added here needs a StallClass assignment there.
 #pragma once
 
 #include <array>

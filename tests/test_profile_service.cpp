@@ -1,0 +1,196 @@
+// Fleet request tracing: span-tree completeness (the five phases tile the
+// request's latency exactly), gc-charge links that resolve into the
+// charged shard's collection history, deterministic top-K exemplar
+// capture, and byte-identical profile JSONL / flame exports between the
+// serial conductor and the shard pool at 1/2/4/8 host threads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "profile/request_trace.hpp"
+#include "service/heap_service.hpp"
+#include "service/service_metrics.hpp"
+
+namespace hwgc {
+namespace {
+
+ServiceConfig profiled_config(std::size_t host_threads) {
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.semispace_words = 2048;
+  cfg.sim.coprocessor.num_cores = 2;
+  cfg.traffic.seed = 7;
+  cfg.scheduler = GcSchedulerKind::kReactive;
+  cfg.profile.enabled = true;
+  cfg.profile.exemplars = 4;
+  cfg.host_threads = host_threads;
+  return cfg;
+}
+
+std::unique_ptr<HeapService> run_profiled(std::size_t host_threads) {
+  auto s = std::make_unique<HeapService>(profiled_config(host_threads));
+  s->serve(4000);
+  return s;
+}
+
+const HeapService& serial_run() {
+  static HeapService* s = run_profiled(1).release();
+  return *s;
+}
+
+/// Finds the child span with `name` (phases are unique per tree).
+const SpanRecord* phase(const std::vector<SpanRecord>& spans,
+                        const char* name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(RequestTracing, CaptureIsBoundedAndSorted) {
+  const auto top = serial_run().slowest_requests();
+  ASSERT_FALSE(top.empty());
+  EXPECT_LE(top.size(), serial_run().config().profile.exemplars);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_TRUE(RequestExemplar::slower(top[i - 1], top[i]) ||
+                (top[i - 1].latency() == top[i].latency() &&
+                 top[i - 1].request_id < top[i].request_id))
+        << "exemplars out of deterministic order at " << i;
+  }
+}
+
+TEST(RequestTracing, SpanTreesAreCompleteAndTileTheLatency) {
+  const auto top = serial_run().slowest_requests();
+  ASSERT_FALSE(top.empty());
+  for (const RequestExemplar& e : top) {
+    const std::vector<SpanRecord> spans = exemplar_spans(e);
+    ASSERT_GE(spans.size(), 6u);  // root + 5 phases, plus charges/hops
+
+    // Root covers [arrival, completion]; ids are 1..N with parents first.
+    EXPECT_EQ(spans.front().name, "request");
+    EXPECT_EQ(spans.front().span, 1u);
+    EXPECT_EQ(spans.front().parent, 0u);
+    EXPECT_EQ(spans.front().begin, e.arrival);
+    EXPECT_EQ(spans.front().end, e.completion);
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      EXPECT_EQ(spans[i].span, i + 1) << "span ids must be dense";
+      if (i > 0) {
+        EXPECT_LT(spans[i].parent, spans[i].span);
+      }
+      std::string err;
+      EXPECT_TRUE(validate_profile_jsonl_line(
+          span_record_jsonl(spans[i], "t"), &err))
+          << err;
+    }
+
+    // The five phases are always present and consecutive: their lengths
+    // sum to the request's latency exactly (the §12 identity, per span).
+    const SpanRecord* adm = phase(spans, "admission");
+    const SpanRecord* queue = phase(spans, "queue");
+    const SpanRecord* inh = phase(spans, "gc-inherited");
+    const SpanRecord* own = phase(spans, "gc-own");
+    const SpanRecord* srv = phase(spans, "service");
+    ASSERT_TRUE(adm && queue && inh && own && srv);
+    EXPECT_EQ(adm->begin, e.arrival);
+    EXPECT_EQ(queue->begin, adm->end);
+    EXPECT_EQ(inh->begin, queue->end);
+    EXPECT_EQ(own->begin, inh->end);
+    EXPECT_EQ(srv->begin, own->end);
+    EXPECT_EQ(srv->end, e.completion);
+    const Cycle tiled = (adm->end - adm->begin) + (queue->end - queue->begin) +
+                        (inh->end - inh->begin) + (own->end - own->begin) +
+                        (srv->end - srv->begin);
+    EXPECT_EQ(tiled, e.latency())
+        << "request " << e.request_id << ": phases do not tile the latency";
+    EXPECT_EQ(srv->end - srv->begin, e.service);
+    EXPECT_EQ(own->end - own->begin, e.own_gc);
+  }
+}
+
+TEST(RequestTracing, GcChargesLinkIntoCollectionHistory) {
+  const HeapService& s = serial_run();
+  const auto top = s.slowest_requests();
+  std::size_t charges = 0;
+  for (const RequestExemplar& e : top) {
+    ASSERT_LT(e.shard, s.shard_count());
+    const auto& history = s.runtime(e.shard).gc_history();
+    for (const auto& list : {e.own, e.inherited}) {
+      for (const GcCharge& c : list) {
+        ++charges;
+        ASSERT_GE(c.collection, 0);
+        ASSERT_LT(static_cast<std::size_t>(c.collection), history.size())
+            << "gc-charge links a collection the shard never ran";
+        EXPECT_EQ(c.cycles,
+                  history[static_cast<std::size_t>(c.collection)]
+                      .total_cycles)
+            << "charge cycles must be the linked collection's cycles";
+      }
+    }
+    // Own charges account for the whole own_gc phase.
+    Cycle own_sum = 0;
+    for (const GcCharge& c : e.own) own_sum += c.cycles;
+    EXPECT_EQ(own_sum, e.own_gc);
+  }
+  EXPECT_GT(charges, 0u)
+      << "a 2048-word fleet under 4000 requests must capture GC charges";
+}
+
+TEST(RequestTracing, ProfileExportsAreByteIdenticalAcrossHostThreads) {
+  const std::string serial_jsonl =
+      profile_report_jsonl(serial_run(), "det");
+  std::string serial_flame;
+  {
+    const std::string path =
+        std::string(::testing::TempDir()) + "flame_serial.json";
+    ASSERT_TRUE(write_exemplar_flame(serial_run().slowest_requests(), path));
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    serial_flame = buf.str();
+    std::remove(path.c_str());
+  }
+  EXPECT_FALSE(serial_jsonl.empty());
+  EXPECT_FALSE(serial_flame.empty());
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    const auto pool = run_profiled(threads);
+    EXPECT_EQ(profile_report_jsonl(*pool, "det"), serial_jsonl)
+        << threads << " host threads: profile JSONL diverged from serial";
+    const std::string path = std::string(::testing::TempDir()) + "flame_" +
+                             std::to_string(threads) + ".json";
+    ASSERT_TRUE(write_exemplar_flame(pool->slowest_requests(), path));
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), serial_flame)
+        << threads << " host threads: flame bytes diverged from serial";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(RequestTracing, InsertExemplarKeepsTopKDeterministic) {
+  std::vector<RequestExemplar> top;
+  RequestExemplar e;
+  e.arrival = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    e.request_id = i;
+    e.completion = 100 + (i * 37) % 50;  // latencies with ties
+    insert_exemplar(top, 3, e);
+  }
+  ASSERT_EQ(top.size(), 3u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    const bool ordered =
+        top[i - 1].latency() > top[i].latency() ||
+        (top[i - 1].latency() == top[i].latency() &&
+         top[i - 1].request_id < top[i].request_id);
+    EXPECT_TRUE(ordered) << "top-K order violated at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hwgc
