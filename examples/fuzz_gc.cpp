@@ -22,6 +22,7 @@
 
 #include "core/schedule_policy.hpp"
 #include "fuzz/oracle.hpp"
+#include "trace/corpus.hpp"
 
 namespace {
 
@@ -31,6 +32,10 @@ void usage() {
       "  --seed N           master seed; the whole case derives from it\n"
       "  --count N          number of cases to run (seeds N..N+count-1, default 25)\n"
       "  --no-minimize      skip reproducer minimization on failure\n"
+      "  --emit-trace FILE  write the (minimized) reproducer of the first\n"
+      "                     failing case as an hwgc-trace-v1 file; with no\n"
+      "                     failure, the last case's trace is written so the\n"
+      "                     flag always yields a replayable artifact\n"
       "  -v, --verbose      print a stats digest for passing cases too\n"
       "explicit-case flags (replay a minimized reproducer; disable derivation):\n"
       "  --graph-seed N --schedule fixed|rotating|random|adversarial\n"
@@ -53,6 +58,7 @@ struct Options {
   bool minimize = true;
   bool verbose = false;
   bool explicit_case = false;
+  std::string emit_trace;
   hwgc::FuzzCase fc;
 };
 
@@ -74,6 +80,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.count = static_cast<std::uint32_t>(u64());
     } else if (a == "--no-minimize") {
       opt.minimize = false;
+    } else if (a == "--emit-trace") {
+      opt.emit_trace = next(i);
     } else if (a == "-v" || a == "--verbose") {
       opt.verbose = true;
     } else if (a == "--graph-seed") {
@@ -163,9 +171,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
 }
 
 /// Runs one case; on failure prints the verdict, minimizes and prints the
-/// replay flags. Returns true when the oracle passed.
+/// replay flags. Returns true when the oracle passed; `repro` (when
+/// non-null) receives the minimized reproducer on failure.
 bool run_one(const hwgc::FuzzCase& fc, const std::string& label,
-             const Options& opt) {
+             const Options& opt, hwgc::FuzzCase* repro = nullptr) {
   const hwgc::FuzzVerdict v = hwgc::run_fuzz_case(fc);
   if (v.ok) {
     if (opt.verbose) {
@@ -183,11 +192,13 @@ bool run_one(const hwgc::FuzzCase& fc, const std::string& label,
   }
   std::cout << label << " FAILED\n" << v.summary() << "\n";
   std::cout << "repro: fuzz_gc " << fc.summary() << "\n";
+  if (repro != nullptr) *repro = fc;
   if (opt.minimize) {
     const hwgc::FuzzCase small = hwgc::minimize_case(fc);
     std::cout << "minimized: fuzz_gc " << small.summary() << "\n";
     const hwgc::FuzzVerdict mv = hwgc::run_fuzz_case(small);
     if (!mv.ok) std::cout << mv.summary() << "\n";
+    if (repro != nullptr) *repro = small;
   }
   return false;
 }
@@ -202,16 +213,43 @@ int main(int argc, char** argv) {
   }
 
   std::uint32_t failures = 0;
+  // The case whose trace --emit-trace writes: the (minimized) reproducer of
+  // the first failure, or the last case run when everything passed.
+  hwgc::FuzzCase emit_fc;
+  bool emit_is_failure = false;
   if (opt.explicit_case) {
-    if (!run_one(opt.fc, "case[explicit]", opt)) ++failures;
+    emit_fc = opt.fc;
+    if (!run_one(opt.fc, "case[explicit]", opt, &emit_fc)) {
+      ++failures;
+      emit_is_failure = true;
+    }
   } else {
     for (std::uint32_t k = 0; k < opt.count; ++k) {
       const std::uint64_t master = opt.seed + k;
       const hwgc::FuzzCase fc = hwgc::case_from_seed(master);
-      if (!run_one(fc, "case[seed=" + std::to_string(master) + "]", opt)) {
+      hwgc::FuzzCase repro;
+      if (!run_one(fc, "case[seed=" + std::to_string(master) + "]", opt,
+                   &repro)) {
         ++failures;
+        if (!emit_is_failure) {
+          emit_fc = repro;
+          emit_is_failure = true;
+        }
+      } else if (!emit_is_failure) {
+        emit_fc = fc;
       }
     }
+  }
+  if (!opt.emit_trace.empty()) {
+    // fc.fault is not carried into the trace (replay runs a pluggable
+    // collector, not the recovery ladder); everything else — graph,
+    // schedule, cores, FIFO, jitter, feature knobs — is.
+    const hwgc::Trace trace = hwgc::trace_from_fuzz_case(emit_fc);
+    hwgc::save_trace(opt.emit_trace, trace);
+    std::cout << "emitted " << (emit_is_failure ? "reproducer" : "last-case")
+              << " trace: " << opt.emit_trace << " (" << trace.ops.size()
+              << " events, digest 0x" << std::hex << trace.digest()
+              << std::dec << ")\n";
   }
   if (failures == 0) {
     std::cout << "fuzz_gc: all "

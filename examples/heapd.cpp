@@ -58,6 +58,13 @@
 //   --backoff N         retry backoff in cycles per failover hop
 //   --checkpoint-interval N  verified-clean cycles between checkpoints
 //   --restore-cost N    virtual cycles a checkpoint restore occupies
+//   --trace a,b,..      hwgc-trace-v1 files: sessions replay recorded op
+//                       streams (trace-per-session, session % files) instead
+//                       of seeded churn; read probes verify recorded digests.
+//                       Incompatible with --supervise/--deadline (checkpoint
+//                       restores would rewind roots under live trace cursors)
+//   --trace-ops N       trace mode: baseline replay ops per request
+//                       (default 16; scaled by request kind)
 //   --no-oracle         skip the per-cycle post-structure oracle
 //   --json PATH         write hwgc-bench-v1 (per-shard GC aggregates) +
 //                       hwgc-service-v1 (latency/SLO) JSONL sections
@@ -119,6 +126,9 @@ struct Options {
   std::uint64_t fault_seed = 1;
   FaultStormConfig storm{};
   ResilienceConfig resilience{};
+  std::vector<std::string> trace_files;
+  std::shared_ptr<const std::vector<Trace>> traces;
+  std::uint32_t trace_ops = 16;
   bool oracle = true;
   std::string json_path;
   std::string trace_json;
@@ -153,6 +163,7 @@ void usage(std::FILE* to) {
       "           --storm-burst N  --storm-calm N  --storm-crashes N\n"
       "  resil.:  --supervise  --deadline N  --retries N  --backoff N\n"
       "           --checkpoint-interval N  --restore-cost N\n"
+      "  trace:   --trace FILE,..  --trace-ops N\n"
       "  output:  --json PATH  --trace-json PATH  -v|--verbose\n"
       "  profile: --profile  --exemplars N  --profile-json PATH"
       "  --flame PATH\n"
@@ -289,6 +300,15 @@ bool parse_args(int argc, char** argv, Options& opt) {
           static_cast<std::uint32_t>(next_u64(i));
     } else if (a == "--restore-cost") {
       opt.resilience.restore_cost = next_u64(i);
+    } else if (a == "--trace") {
+      const char* flag = argv[i];
+      opt.trace_files = split_list(next(i));
+      if (opt.trace_files.empty()) die_usage("empty list for %s", flag);
+    } else if (a == "--trace-ops") {
+      opt.trace_ops = static_cast<std::uint32_t>(next_u64(i));
+      if (opt.trace_ops == 0) {
+        die_usage("%s", "--trace-ops must be >= 1");
+      }
     } else if (a == "--no-oracle") {
       opt.oracle = false;
     } else if (a == "--json") {
@@ -320,6 +340,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
                     "must be quarantined and restored)");
   }
   if (!opt.profile_json.empty() || !opt.flame.empty()) opt.profile = true;
+  if (!opt.trace_files.empty() && opt.resilience.enabled()) {
+    die_usage("%s", "--trace is incompatible with --supervise/--deadline "
+                    "(checkpoint restores would rewind the root table under "
+                    "live trace cursors)");
+  }
   return true;
 }
 
@@ -346,6 +371,8 @@ ServiceConfig make_config(const Options& o, std::size_t shards,
   }
   cfg.storm = o.storm;
   cfg.resilience = o.resilience;
+  cfg.traces = o.traces;
+  cfg.trace_ops_per_request = o.trace_ops;
   cfg.profile.enabled = o.profile;
   cfg.profile.exemplars = o.exemplars;
   return cfg;
@@ -515,6 +542,21 @@ bool run_config(const Options& o, const ServiceConfig& cfg,
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
+
+  if (!opt.trace_files.empty()) {
+    auto loaded = std::make_shared<std::vector<Trace>>();
+    for (const std::string& f : opt.trace_files) {
+      try {
+        loaded->push_back(load_trace(f));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "heapd: --trace %s: %s\n", f.c_str(), e.what());
+        return 2;
+      }
+    }
+    opt.traces = std::move(loaded);
+    std::printf("trace mode: %zu trace(s), sessions pinned session %% %zu\n",
+                opt.trace_files.size(), opt.trace_files.size());
+  }
 
   MetricsRegistry registry;
   std::string service_jsonl;

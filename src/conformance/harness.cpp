@@ -204,6 +204,7 @@ class ConcurrentHarness final : public CollectorHarness {
     cfg_.sim = sim_config_from(cfg);
     cfg_.mutator_seed = cfg.mutator_seed;
     cfg_.op_spacing = cfg.mutator_op_spacing;
+    cfg_.registers = cfg.mutator_registers;
   }
   CollectorId id() const noexcept override { return CollectorId::kConcurrent; }
   CycleReport collect(Heap& heap) override {

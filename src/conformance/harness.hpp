@@ -118,6 +118,10 @@ struct HarnessConfig {
   /// Concurrent cycle: mutator program seed and op spacing.
   std::uint64_t mutator_seed = 1;
   std::uint32_t mutator_op_spacing = 3;
+  /// Concurrent cycle: mutator register-file size. 0 runs the cycle
+  /// quiescent (no mutator roots, no mutator operations) — the trace
+  /// replayer's mode, where the recorded op stream is the only mutator.
+  std::uint32_t mutator_registers = 16;
 };
 
 /// One collector behind the uniform entry point. Stateless between calls:

@@ -47,6 +47,9 @@ class MutatorSim {
     for (std::uint32_t r = 0; r < cfg_.registers; ++r) {
       heap_.roots().push_back(r < seeded ? heap_.roots()[r] : kNullPtr);
     }
+    // Quiescent mode (registers == 0): nothing to operate on — halt before
+    // the first step so begin_op never draws from an empty register file.
+    if (cfg_.registers == 0) halted_ = true;
   }
 
   void step(Cycle now);

@@ -75,7 +75,11 @@ class ConcurrentCycle {
     /// Synthetic mutator program: operation mix over the mutator's
     /// register file, executed while the coprocessor collects.
     std::uint64_t mutator_seed = 1;
-    /// Registers (root slots) the mutator works with.
+    /// Registers (root slots) the mutator works with. 0 = quiescent
+    /// mutator: no register roots are appended and no operations run, so
+    /// the cycle degenerates to a plain (concurrent-capable) collection —
+    /// trace replay uses this to drive recorded workloads through the
+    /// concurrent collector without perturbing the recorded heap image.
     std::uint32_t registers = 16;
     /// Average cycles between mutator operation starts (models the main
     /// processor's heap-access density; 1 = an op every cycle).

@@ -34,43 +34,75 @@ std::size_t Runtime::take_slot(Addr a) {
 Runtime::Ref Runtime::alloc(Word pi, Word delta) {
   Addr obj = heap_.allocate(pi, delta);
   if (obj == kNullPtr) {
-    collect();
+    // Exhaustion cycles run unrecorded (collect_now, not collect): replay
+    // of the same allocation sequence re-triggers them deterministically.
+    collect_now();
     obj = heap_.allocate(pi, delta);
     if (obj == kNullPtr) {
       throw std::runtime_error(
           "Runtime: heap exhausted even after a collection cycle");
     }
   }
-  return Ref(take_slot(obj));
+  const Ref ref(take_slot(obj));
+  if (sink_ != nullptr) sink_->on_alloc(*this, ref.slot_, pi, delta);
+  return ref;
 }
 
 void Runtime::release(Ref ref) {
   if (ref.is_null()) return;
+  if (sink_ != nullptr) sink_->on_release(*this, ref.slot_);
   heap_.roots()[ref.slot_] = kNullPtr;
   free_slots_.push_back(ref.slot_);
 }
 
 void Runtime::set_ptr(Ref obj, Word field, Ref target) {
   heap_.set_pointer(addr(obj), field, addr(target));
+  if (sink_ != nullptr) {
+    sink_->on_set_ptr(*this, obj.slot_, field, target.is_null(),
+                      target.slot_);
+  }
 }
 
 void Runtime::set_ptr_null(Ref obj, Word field) {
   heap_.set_pointer(addr(obj), field, kNullPtr);
+  if (sink_ != nullptr) sink_->on_set_ptr(*this, obj.slot_, field, true, 0);
 }
 
 Runtime::Ref Runtime::load_ptr(Ref obj, Word field) {
   const Addr child = heap_.pointer(addr(obj), field);
   if (child == kNullPtr) return Ref{};
-  return Ref(take_slot(child));
+  const Ref out(take_slot(child));
+  if (sink_ != nullptr) sink_->on_load_ptr(*this, obj.slot_, field, out.slot_);
+  return out;
 }
 
 Runtime::Ref Runtime::dup(Ref ref) {
   if (ref.is_null()) return Ref{};
-  return Ref(take_slot(addr(ref)));
+  const Ref out(take_slot(addr(ref)));
+  if (sink_ != nullptr) sink_->on_dup(*this, ref.slot_, out.slot_);
+  return out;
 }
 
 void Runtime::set_data(Ref obj, Word j, Word value) {
   heap_.set_data(addr(obj), j, value);
+  if (sink_ != nullptr) sink_->on_set_data(*this, obj.slot_, j, value);
+}
+
+ReadProbe Runtime::read_probe(Ref obj) {
+  const Addr a = addr(obj);
+  ReadProbe probe;
+  probe.words = heap_.delta(a);
+  std::uint64_t h = 14695981039346656037ull;
+  for (Word j = 0; j < probe.words; ++j) {
+    Word w = heap_.data(a, j);
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ (w & 0xffu)) * 1099511628211ull;
+      w >>= 8;
+    }
+  }
+  probe.digest = h;
+  if (sink_ != nullptr) sink_->on_read(*this, obj.slot_, probe);
+  return probe;
 }
 
 Word Runtime::get_data(Ref obj, Word j) const {
@@ -109,11 +141,39 @@ void Runtime::restore_image(const Image& img) {
 }
 
 const GcCycleStats& Runtime::collect() {
+  if (sink_ != nullptr) sink_->on_collect(*this);
+  return collect_now();
+}
+
+const GcCycleStats& Runtime::collect_now() {
   if (observer_ != nullptr) observer_->before_collection(*this);
   CycleProfiler profiler;
   CycleProfiler* prof = profiling_ ? &profiler : nullptr;
   // Allocation into the current space is dense, so alloc_ptr is already
   // consistent; the coprocessor flips the heap and republishes it.
+  if (plugin_ != nullptr) {
+    if (cfg_.fault.enabled() || cfg_.recovery.enabled) {
+      throw std::logic_error(
+          "Runtime: a collector plugin cannot be combined with fault "
+          "injection/recovery (the recovery ladder owns the cycle)");
+    }
+    history_.push_back(plugin_->collect(heap_));
+    // Plugin cycles run outside the coprocessor clock: keep
+    // profile_history_ index-aligned with an invalid profile.
+    if (prof != nullptr) profile_history_.emplace_back();
+    if (!history_.back().restart_stores_drained) {
+      ++drain_violations_;
+      if (prof != nullptr) profile_history_.pop_back();
+      history_.pop_back();
+      throw std::logic_error(
+          "Runtime: mutator restart with undrained GC store buffers "
+          "(Section V-E restart condition violated)");
+    }
+    if (observer_ != nullptr) {
+      observer_->after_collection(*this, history_.back());
+    }
+    return history_.back();
+  }
   if (cfg_.fault.enabled() || cfg_.recovery.enabled) {
     RecoveringCollector collector(cfg_, heap_);
     RecoveryReport report = collector.collect(nullptr, telemetry_, prof);
@@ -128,7 +188,7 @@ const GcCycleStats& Runtime::collect() {
   } else {
     Coprocessor coproc(cfg_, heap_);
     history_.push_back(
-        coproc.collect(nullptr, nullptr, nullptr, telemetry_, prof));
+        coproc.collect(signal_trace_, nullptr, nullptr, telemetry_, prof));
   }
   // Section V-E: "the main processor is only restarted after all updates
   // are written back to the memory". A cycle whose store buffers had not

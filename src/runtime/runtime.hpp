@@ -23,6 +23,7 @@
 namespace hwgc {
 
 class Runtime;
+class SignalTrace;
 
 /// Observation seam around every collection cycle the runtime runs —
 /// explicit or allocation-triggered. The service layer (src/service/)
@@ -38,6 +39,54 @@ class CollectionObserver {
   virtual ~CollectionObserver() = default;
   virtual void before_collection(Runtime&) {}
   virtual void after_collection(Runtime&, const GcCycleStats&) {}
+};
+
+/// Result of a read probe over one object's data area (read_probe below):
+/// the number of data words read and an FNV-1a 64 digest over them. The
+/// trace subsystem records probes as (words, digest) pairs so a replayed
+/// read can verify the heap content without shipping the words themselves.
+struct ReadProbe {
+  Word words = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Mutator-operation seam (src/trace/): every mutator-visible operation the
+/// Runtime performs notifies the attached sink, in execution order, with
+/// the *resulting* Ref for operations that create one. Null sink (the
+/// default) costs one pointer test per operation and changes nothing else.
+///
+/// Allocation-triggered collections deliberately do NOT reach on_collect:
+/// they are a deterministic consequence of the allocation sequence and the
+/// heap size, so a replay reproduces them without an explicit event — which
+/// is what makes record -> replay -> re-record a byte-identical round trip.
+class RuntimeTraceSink {
+ public:
+  virtual ~RuntimeTraceSink() = default;
+  virtual void on_alloc(Runtime&, std::size_t /*slot*/, Word /*pi*/,
+                        Word /*delta*/) {}
+  virtual void on_release(Runtime&, std::size_t /*slot*/) {}
+  virtual void on_set_ptr(Runtime&, std::size_t /*obj_slot*/, Word /*field*/,
+                          bool /*target_null*/, std::size_t /*target_slot*/) {}
+  virtual void on_load_ptr(Runtime&, std::size_t /*obj_slot*/, Word /*field*/,
+                           std::size_t /*out_slot*/) {}
+  virtual void on_dup(Runtime&, std::size_t /*src_slot*/,
+                      std::size_t /*out_slot*/) {}
+  virtual void on_set_data(Runtime&, std::size_t /*obj_slot*/, Word /*j*/,
+                           Word /*value*/) {}
+  virtual void on_read(Runtime&, std::size_t /*obj_slot*/, const ReadProbe&) {}
+  virtual void on_collect(Runtime&) {}
+};
+
+/// Pluggable collection backend (src/trace/): when attached, explicit and
+/// allocation-triggered cycles run through it instead of the built-in
+/// coprocessor. The plugin must leave the heap flipped with roots
+/// redirected and the allocation pointer published (the CollectorHarness
+/// contract). The replayer uses this to drive one recorded trace under any
+/// of the seven collectors.
+class CollectorPlugin {
+ public:
+  virtual ~CollectorPlugin() = default;
+  virtual GcCycleStats collect(Heap& heap) = 0;
 };
 
 class Runtime {
@@ -87,6 +136,13 @@ class Runtime {
   Word get_data(Ref obj, Word j) const;
   Word pi(Ref obj) const;
   Word delta(Ref obj) const;
+
+  /// Reads every data word of `obj` and returns (word count, FNV-1a 64
+  /// digest). The one observable read operation of the runtime API: the
+  /// trace recorder captures probes through the sink, and a replayed probe
+  /// recomputes the digest against the replayed heap — a mismatch means the
+  /// collector under replay corrupted (or failed to copy) the data area.
+  ReadProbe read_probe(Ref obj);
 
   /// Checkpoint seam (service-layer shard checkpoint/restore). An Image is
   /// everything the mutator-visible runtime state consists of: the
@@ -164,6 +220,24 @@ class Runtime {
     return observer_;
   }
 
+  /// Attaches a mutator-operation sink (trace recording). Pass nullptr to
+  /// detach. See RuntimeTraceSink for the exact notification contract.
+  void set_trace_sink(RuntimeTraceSink* sink) noexcept { sink_ = sink; }
+  RuntimeTraceSink* trace_sink() const noexcept { return sink_; }
+
+  /// Swaps the collection backend (trace replay under any collector). Pass
+  /// nullptr to restore the built-in coprocessor. Incompatible with fault
+  /// injection/recovery: collect() throws std::logic_error if both are
+  /// configured, rather than silently picking one.
+  void set_collector(CollectorPlugin* plugin) noexcept { plugin_ = plugin; }
+  CollectorPlugin* collector() const noexcept { return plugin_; }
+
+  /// Attaches a hardware signal trace sampled by every coprocessor-path
+  /// collection (nullptr to detach). Used by the trace round-trip identity
+  /// proof: record and replay of the same trace must produce bit-identical
+  /// SignalTrace event streams.
+  void set_signal_trace(SignalTrace* st) noexcept { signal_trace_ = st; }
+
   /// Current heap address of a rooted reference. Only stable until the
   /// next collection — exposed for tests and debugging tools (e.g. the
   /// shadow-mutator validation and the heap inspector example).
@@ -205,6 +279,11 @@ class Runtime {
   Addr addr(Ref ref) const;
   std::size_t take_slot(Addr a);
 
+  /// Runs one cycle without notifying the trace sink — the shared body of
+  /// collect() and the allocation-exhaustion path (which must stay
+  /// unrecorded; see RuntimeTraceSink).
+  const GcCycleStats& collect_now();
+
   Heap heap_;
   SimConfig cfg_;
   std::vector<std::size_t> free_slots_;
@@ -216,6 +295,9 @@ class Runtime {
   std::size_t root_high_water_ = 0;
   TelemetryBus* telemetry_ = nullptr;
   CollectionObserver* observer_ = nullptr;
+  RuntimeTraceSink* sink_ = nullptr;
+  CollectorPlugin* plugin_ = nullptr;
+  SignalTrace* signal_trace_ = nullptr;
 };
 
 }  // namespace hwgc

@@ -4,10 +4,13 @@
 #include <stdexcept>
 #include <string>
 
+#include <map>
+
 #include "conformance/conformance.hpp"
 #include "conformance/harness.hpp"
 #include "heap/object_model.hpp"
 #include "service/checkpoint.hpp"
+#include "trace/replayer.hpp"
 
 namespace hwgc {
 
@@ -34,6 +37,20 @@ std::uint32_t steps_for(RequestKind kind, std::uint32_t base) {
   return 0;
 }
 
+/// Trace mode: op budget per request kind — same shape bias as steps_for,
+/// scaled up because one trace op is much lighter than one mutator step.
+std::size_t trace_ops_for(RequestKind kind, std::uint32_t base) {
+  const std::size_t b = std::max<std::uint32_t>(base, 1);
+  switch (kind) {
+    case RequestKind::kAllocate: return b + b / 2;
+    case RequestKind::kMutate: return b;
+    case RequestKind::kRelease: return std::max<std::size_t>(b / 2, 1);
+    case RequestKind::kRead: return std::max<std::size_t>(b / 2, 1);
+    case RequestKind::kCount: break;
+  }
+  return 1;
+}
+
 }  // namespace
 
 /// One shard: a full Runtime + shadow model + virtual-time bookkeeping.
@@ -51,6 +68,7 @@ struct HeapService::ShardState final : CollectionObserver {
         exemplar_cap(cfg.profile.exemplars),
         checkpoint_interval(cfg.resilience.checkpoint_interval),
         sessions(cfg.traffic.sessions),
+        traces(cfg.traces),
         rt(cfg.semispace_words, shard_sim_config(index_, cfg, storm)),
         mutator(shard_mutator_config(index_, cfg)) {
     rt.set_collection_observer(this);
@@ -214,6 +232,21 @@ struct HeapService::ShardState final : CollectionObserver {
     return errors.size();
   }
 
+  bool trace_mode() const noexcept { return traces != nullptr; }
+
+  /// Lazily built per-session replay cursor (trace-per-session). Lives on
+  /// the shard's lane like every other shard-local state; std::map keeps
+  /// iteration deterministic should anyone ever walk it.
+  TraceCursor& session_cursor(std::uint32_t session) {
+    auto it = cursors.find(session);
+    if (it == cursors.end()) {
+      const std::vector<Trace>& ts = *traces;
+      const Trace* t = &ts[session % ts.size()];
+      it = cursors.emplace(session, TraceCursor(t, /*wrap=*/true)).first;
+    }
+    return it->second;
+  }
+
   Cycle take_pending_gc() noexcept {
     const Cycle g = pending_gc;
     pending_gc = 0;
@@ -234,8 +267,11 @@ struct HeapService::ShardState final : CollectionObserver {
   const std::size_t exemplar_cap;
   const std::uint32_t checkpoint_interval;
   const std::uint32_t sessions;
+  /// Shared corpus keep-alive for trace mode (null = churn mode).
+  const std::shared_ptr<const std::vector<Trace>> traces;
   Runtime rt;
   ShadowMutator mutator;
+  std::map<std::uint32_t, TraceCursor> cursors;  ///< per-session replay
 
   Cycle next_free = 0;          ///< virtual cycle the backlog drains
   Cycle gc_backlog = 0;         ///< collection cycles inside the backlog
@@ -282,6 +318,31 @@ HeapService::HeapService(const ServiceConfig& cfg)
     throw std::invalid_argument(
         "HeapService: storm crash_period needs resilience.supervise (a "
         "crashed shard must be quarantined and restored)");
+  }
+  if (cfg_.traces != nullptr) {
+    if (cfg_.traces->empty()) {
+      throw std::invalid_argument("HeapService: trace list is empty");
+    }
+    if (cfg_.resilience.enabled()) {
+      // A checkpoint restore rewinds the root table under the sessions'
+      // replay cursors, whose Refs would silently dangle.
+      throw std::invalid_argument(
+          "HeapService: trace-driven sessions cannot run with resilience "
+          "restores (cursor roots cannot be rewound)");
+    }
+    // Every session's live set is bounded by its trace's recorded semispace
+    // (the trace was captured inside one). Sessions pinned to a shard share
+    // its heap, so size the shard for the worst case — all of its sessions
+    // at their recorded bound at once, plus one trace of allocation slack —
+    // or the default 8192 words wedges under ~16 replaying sessions.
+    Word max_trace = 0;
+    for (const Trace& t : *cfg_.traces) {
+      max_trace = std::max(max_trace, t.header.semispace_words);
+    }
+    const std::size_t per_shard =
+        (cfg_.traffic.sessions + cfg_.shards - 1) / cfg_.shards;
+    cfg_.semispace_words = std::max<Word>(
+        cfg_.semispace_words, static_cast<Word>(per_shard + 1) * max_trace);
   }
   storm_ = FaultStorm(cfg_.storm, cfg_.shards);
   if (cfg_.resilience.enabled()) {
@@ -397,7 +458,34 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
   std::uint32_t steps = 0;
   std::size_t read_words = 0;
   bool failed = false;
-  if (req.kind == RequestKind::kRead) {
+  if (sh.trace_mode()) {
+    // Trace-driven session: advance this session's cursor by the request's
+    // op budget. The cursor verifies recorded read digests as it goes;
+    // collections (explicit hints and exhaustion) run through the shard's
+    // normal observer, so oracle + stall accounting are identical to churn
+    // mode.
+    TraceCursor& cursor = sh.session_cursor(req.session);
+    const std::size_t budget =
+        trace_ops_for(req.kind, cfg_.trace_ops_per_request);
+    const std::uint64_t mismatches_before = cursor.read_mismatches();
+    std::size_t applied = 0;
+    if (sh.resilient) {
+      try {
+        applied = cursor.apply(sh.rt, budget);
+      } catch (const std::runtime_error&) {
+        failed = true;
+        ++sh.failures;
+      }
+    } else {
+      applied = cursor.apply(sh.rt, budget);
+    }
+    sh.stats.read_mismatches += cursor.read_mismatches() - mismatches_before;
+    if (req.kind == RequestKind::kRead) {
+      read_words = applied;
+    } else {
+      steps = static_cast<std::uint32_t>(applied);
+    }
+  } else if (req.kind == RequestKind::kRead) {
     std::size_t mismatches = 0;
     read_words = sh.mutator.probe(sh.rt, &mismatches);
     sh.stats.read_mismatches += mismatches;

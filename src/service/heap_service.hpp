@@ -52,6 +52,7 @@
 #include "service/traffic.hpp"
 #include "sim/config.hpp"
 #include "sim/shard_pool.hpp"
+#include "trace/trace_format.hpp"
 #include "workloads/mutator.hpp"
 
 namespace hwgc {
@@ -116,6 +117,21 @@ struct ServiceConfig {
     std::uint32_t exemplars = 4;
   };
   ProfileConfig profile{};
+
+  /// Trace-driven sessions (src/trace/): when set (non-empty), requests
+  /// replay recorded hwgc-trace-v1 op streams instead of seeded
+  /// ShadowMutator churn. Each session gets its own wrapping TraceCursor
+  /// over traces[session % traces.size()] — trace-per-session, scaled
+  /// across shards by the usual session-affinity pinning. Read probes in
+  /// the stream verify their recorded digests (mismatches land in
+  /// SloStats::read_mismatches), and the per-cycle oracle still checks
+  /// every collection. Deterministic like the churn engine: serial and
+  /// shard-pool runs stay byte-identical.
+  std::shared_ptr<const std::vector<Trace>> traces;
+
+  /// Trace mode: baseline op budget per request; scaled by request kind
+  /// like steps_per_request (allocate-biased requests apply more ops).
+  std::uint32_t trace_ops_per_request = 16;
 
   /// Host threads executing shard work (simulation, not virtual time).
   /// <= 1 runs everything inline on the caller's thread — the serial

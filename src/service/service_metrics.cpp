@@ -6,6 +6,7 @@
 
 #include "profile/profile_metrics.hpp"
 #include "telemetry/metrics.hpp"
+#include "trace/trace_format.hpp"
 
 namespace hwgc {
 
@@ -302,6 +303,9 @@ LineValidator dispatch_by_schema(const std::string& line) {
   }
   if (line.find("\"schema\":\"hwgc-profile-v1\"") != std::string::npos) {
     return &validate_profile_jsonl_line;
+  }
+  if (line.find("\"schema\":\"hwgc-trace-v1\"") != std::string::npos) {
+    return &validate_trace_jsonl_line;
   }
   return nullptr;
 }

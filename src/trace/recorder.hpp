@@ -1,0 +1,64 @@
+// TraceRecorder: captures every mutator-visible Runtime operation as an
+// hwgc-trace-v1 op stream through the RuntimeTraceSink seam.
+//
+// The recorder translates root-slot indices (the runtime's currency) into
+// allocation-order object ids (the trace's currency) by mirroring the root
+// table: each live slot maps to the id it roots, and each id keeps its live
+// slots in creation order. A release is recorded as (id, position in that
+// list) so the replayer frees the *same* slot — slot allocation and the
+// freelist order are then bit-identical between record and replay, which is
+// what makes record -> replay -> re-record a byte-identical round trip.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "trace/trace_format.hpp"
+
+namespace hwgc {
+
+class TraceRecorder final : public RuntimeTraceSink {
+ public:
+  explicit TraceRecorder(TraceHeader header = {});
+
+  /// Starts recording. The runtime must not have live roots yet (a trace
+  /// replays against a fresh runtime, so recording must start from one);
+  /// throws std::logic_error otherwise. Fills the header's runtime-derived
+  /// fields (semispace, cores, fifo, schedule...) from rt.config().
+  void attach(Runtime& rt);
+
+  /// Stops recording (detaches the sink). The trace stays available.
+  void detach(Runtime& rt);
+
+  const Trace& trace() const noexcept { return trace_; }
+  Trace take() { return std::move(trace_); }
+
+  // RuntimeTraceSink implementation.
+  void on_alloc(Runtime&, std::size_t slot, Word pi, Word delta) override;
+  void on_release(Runtime&, std::size_t slot) override;
+  void on_set_ptr(Runtime&, std::size_t obj_slot, Word field, bool target_null,
+                  std::size_t target_slot) override;
+  void on_load_ptr(Runtime&, std::size_t obj_slot, Word field,
+                   std::size_t out_slot) override;
+  void on_dup(Runtime&, std::size_t src_slot, std::size_t out_slot) override;
+  void on_set_data(Runtime&, std::size_t obj_slot, Word j, Word value) override;
+  void on_read(Runtime&, std::size_t obj_slot, const ReadProbe& probe) override;
+  void on_collect(Runtime&) override;
+
+ private:
+  std::uint64_t id_of(std::size_t slot) const;
+  void bind(std::size_t slot, std::uint64_t id);
+
+  Trace trace_;
+  std::uint64_t next_id_ = 0;
+  std::unordered_map<std::size_t, std::uint64_t> slot_to_id_;
+  /// Per id: the slots currently rooting it, in creation order.
+  std::vector<std::vector<std::size_t>> live_slots_;
+  /// Per id: current pointer-field targets (kNoTraceId = null), maintained
+  /// from the link stream so a load_ptr can be resolved to the child id
+  /// without consulting heap addresses (which move under collection).
+  std::vector<std::vector<std::uint64_t>> children_;
+};
+
+}  // namespace hwgc

@@ -1,0 +1,276 @@
+#include "trace/replayer.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "heap/verifier.hpp"
+#include "trace/recorder.hpp"
+
+namespace hwgc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xffu)) * kFnvPrime;
+    v >>= 8;
+  }
+}
+
+/// The coprocessor-path CycleReport, synthesized from GcCycleStats the
+/// same way the service layer's per-shard oracle does.
+CycleReport report_from_stats(const GcCycleStats& s) {
+  CycleReport r;
+  r.objects_copied = s.objects_copied;
+  r.words_copied = s.words_copied;
+  r.lock_order_violations = s.lock_order_violations;
+  for (const CoreCounters& c : s.per_core) r.evacuations += c.objects_evacuated;
+  r.coproc = s;
+  return r;
+}
+
+}  // namespace
+
+HarnessPlugin::HarnessPlugin(CollectorId id, HarnessConfig cfg) : id_(id) {
+  // The recorded op stream is the only mutator a replay may have: run the
+  // concurrent collector's synthetic mutator quiescent.
+  if (id == CollectorId::kConcurrent) cfg.mutator_registers = 0;
+  harness_ = make_harness(id, cfg);
+}
+
+GcCycleStats HarnessPlugin::collect(Heap& heap) {
+  last_ = harness_->collect(heap);
+  has_report_ = true;
+  if (last_.coproc.has_value()) return *last_.coproc;
+  GcCycleStats stats;
+  stats.objects_copied = last_.objects_copied;
+  stats.words_copied = last_.words_copied;
+  stats.lock_order_violations = last_.lock_order_violations;
+  // Software collectors run outside the coprocessor clock; the stats they
+  // cannot fill stay zero and restart_stores_drained stays true (their
+  // stores are plain memory writes, committed before collect() returns).
+  return stats;
+}
+
+TraceCursor::TraceCursor(const Trace* trace, bool wrap)
+    : trace_(trace), wrap_(wrap) {
+  if (trace_ == nullptr) {
+    throw std::invalid_argument("TraceCursor: null trace");
+  }
+}
+
+std::uint64_t TraceCursor::live_ids() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& r : refs_) {
+    if (!r.empty()) ++n;
+  }
+  return n;
+}
+
+std::uint64_t TraceCursor::live_graph_digest(Runtime& rt) const {
+  std::uint64_t h = kFnvOffset;
+  for (std::size_t id = 0; id < refs_.size(); ++id) {
+    if (refs_[id].empty()) continue;
+    const Runtime::Ref ref = refs_[id].front();
+    fnv_u64(h, id);
+    const Word pi = rt.pi(ref);
+    const Word delta = rt.delta(ref);
+    fnv_u64(h, pi);
+    fnv_u64(h, delta);
+    for (Word j = 0; j < delta; ++j) fnv_u64(h, rt.get_data(ref, j));
+    for (Word f = 0; f < pi; ++f) fnv_u64(h, children_[id][f]);
+    fnv_u64(h, refs_[id].size());
+  }
+  return h;
+}
+
+void TraceCursor::wrap_around(Runtime& rt) {
+  for (auto& list : refs_) {
+    for (Runtime::Ref ref : list) rt.release(ref);
+    list.clear();
+  }
+  refs_.clear();
+  children_.clear();
+  pos_ = 0;
+  ++wraps_;
+}
+
+std::size_t TraceCursor::apply(Runtime& rt, std::size_t max_ops) {
+  std::size_t applied = 0;
+  while (applied < max_ops) {
+    if (pos_ >= trace_->ops.size()) {
+      if (!wrap_) break;
+      wrap_around(rt);
+      if (trace_->ops.empty()) break;
+    }
+    apply_one(rt, trace_->ops[pos_]);
+    ++pos_;
+    ++applied;
+  }
+  return applied;
+}
+
+void TraceCursor::apply_one(Runtime& rt, const TraceOp& op) {
+  switch (op.kind) {
+    case TraceOp::Kind::kAlloc: {
+      const Runtime::Ref ref = rt.alloc(op.b, op.c);
+      refs_.emplace_back();
+      children_.emplace_back(op.b, kNoTraceId);
+      refs_[op.a].push_back(ref);
+      break;
+    }
+    case TraceOp::Kind::kData:
+      rt.set_data(refs_[op.a].back(), op.b, op.c);
+      break;
+    case TraceOp::Kind::kLink:
+      if (op.c == kNoTraceId) {
+        rt.set_ptr_null(refs_[op.a].back(), op.b);
+      } else {
+        rt.set_ptr(refs_[op.a].back(), op.b, refs_[op.c].back());
+      }
+      children_[op.a][op.b] = op.c;
+      break;
+    case TraceOp::Kind::kRetain:
+      refs_[op.a].push_back(rt.dup(refs_[op.a].back()));
+      break;
+    case TraceOp::Kind::kLoad: {
+      const Runtime::Ref child = rt.load_ptr(refs_[op.a].back(), op.b);
+      if (child.is_null()) {
+        // The link-stream mirror proved this field non-null at load time;
+        // a null here means the collector under replay lost the pointer.
+        ++read_mismatches_;
+      } else {
+        refs_[op.c].push_back(child);
+      }
+      break;
+    }
+    case TraceOp::Kind::kRelease: {
+      auto& list = refs_[op.a];
+      rt.release(list[op.b]);
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(op.b));
+      break;
+    }
+    case TraceOp::Kind::kRead: {
+      const ReadProbe probe = rt.read_probe(refs_[op.a].back());
+      if (probe.words != op.b || probe.digest != op.c) ++read_mismatches_;
+      break;
+    }
+    case TraceOp::Kind::kCollect:
+      rt.collect();
+      ++explicit_collects_;
+      break;
+    case TraceOp::Kind::kCount:
+      break;
+  }
+}
+
+namespace {
+
+/// Per-cycle conformance check: snapshot before, post-structure oracle
+/// after — for explicit and exhaustion-triggered cycles alike.
+class OracleObserver final : public CollectionObserver {
+ public:
+  OracleObserver(CollectorId id, const HarnessPlugin* plugin,
+                 ReplayResult& result)
+      : id_(id), plugin_(plugin), result_(result) {}
+
+  void before_collection(Runtime& rt) override {
+    pre_ = HeapSnapshot::capture(rt.heap());
+  }
+
+  void after_collection(Runtime& rt, const GcCycleStats& stats) override {
+    const CycleReport report = (plugin_ != nullptr && plugin_->has_report())
+                                   ? plugin_->last_report()
+                                   : report_from_stats(stats);
+    std::vector<std::string> errors;
+    check_post_structure(id_, pre_, rt.heap(), report, errors);
+    if (report.validation_mismatches != 0) {
+      errors.push_back("concurrent shadow validation reported " +
+                       std::to_string(report.validation_mismatches) +
+                       " mismatches");
+    }
+    const std::string where =
+        "cycle " + std::to_string(result_.collections) + ": ";
+    for (std::string& e : errors) {
+      if (result_.findings.size() < 64) {
+        result_.findings.push_back(where + std::move(e));
+      }
+      result_.ok = false;
+    }
+    ++result_.collections;
+  }
+
+ private:
+  CollectorId id_;
+  const HarnessPlugin* plugin_;
+  ReplayResult& result_;
+  HeapSnapshot pre_;
+};
+
+}  // namespace
+
+std::string ReplayResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "ok" : "FAIL") << ": " << ops_applied << " ops, " << collections
+     << " collections (" << explicit_collects << " explicit), " << live_ids
+     << " live ids, digest 0x" << std::hex << live_graph_digest << std::dec;
+  if (read_mismatches != 0) os << ", " << read_mismatches << " read mismatches";
+  for (const std::string& f : findings) os << "\n  " << f;
+  return os.str();
+}
+
+ReplayResult replay_trace(const Trace& trace, const ReplayConfig& cfg) {
+  ReplayResult result;
+  const TraceHeader& h = trace.header;
+  const Word semispace =
+      cfg.semispace_words != 0 ? cfg.semispace_words : h.semispace_words;
+  Runtime rt(semispace, h.sim_config());
+
+  std::unique_ptr<HarnessPlugin> plugin;
+  if (cfg.collector != CollectorId::kCoprocessor) {
+    HarnessConfig hc;
+    hc.threads = cfg.threads;
+    hc.schedule = h.schedule;
+    hc.schedule_seed =
+        cfg.schedule_seed == ~std::uint64_t{0} ? h.schedule_seed
+                                               : cfg.schedule_seed;
+    hc.torture.seed = hc.schedule_seed;
+    hc.latency_jitter = h.latency_jitter;
+    hc.header_fifo_capacity = h.header_fifo_capacity;
+    plugin = std::make_unique<HarnessPlugin>(cfg.collector, hc);
+    rt.set_collector(plugin.get());
+  } else if (cfg.signal_trace != nullptr) {
+    rt.set_signal_trace(cfg.signal_trace);
+  }
+
+  OracleObserver oracle(cfg.collector, plugin.get(), result);
+  if (cfg.oracle) rt.set_collection_observer(&oracle);
+
+  TraceRecorder rerec(h);
+  if (cfg.rerecord) rerec.attach(rt);
+
+  TraceCursor cursor(&trace, /*wrap=*/false);
+  result.ops_applied = cursor.apply(rt, trace.ops.size());
+  result.read_mismatches = cursor.read_mismatches();
+  result.explicit_collects = cursor.explicit_collects();
+  result.live_ids = cursor.live_ids();
+  result.live_graph_digest = cursor.live_graph_digest(rt);
+  result.gc_history = rt.gc_history();
+  result.collections = result.gc_history.size();
+  if (result.read_mismatches != 0) {
+    result.ok = false;
+    result.findings.push_back(std::to_string(result.read_mismatches) +
+                              " replayed read(s) diverged from the recorded "
+                              "digests");
+  }
+  if (cfg.rerecord) {
+    rerec.detach(rt);
+    result.rerecorded = rerec.take();
+  }
+  return result;
+}
+
+}  // namespace hwgc

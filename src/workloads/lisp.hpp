@@ -1,0 +1,82 @@
+// A miniature Lisp interpreter running on the managed heap — the
+// "representative program" behind examples/lisp_interpreter and the trace
+// corpus (the paper's prototype ran Java applications; jlisp, one of its
+// benchmarks, is a Lisp interpreter, which this recreates natively).
+//
+// All interpreter data lives in collected objects:
+//   cons cell : pi=2 (car, cdr), delta=1 (tag)
+//   integer   : pi=0, delta=2 (tag, value)
+//   symbol    : pi=0, delta=1+n (tag, chars)  — interned
+//   closure   : pi=3 (params, body, env), delta=1 (tag)
+// Environments are assoc lists of cons cells, so deep recursion churns the
+// heap and the GC coprocessor runs many cycles mid-evaluation. Host-side
+// Refs are GC roots, which gives exact rooting for free — and every heap
+// operation goes through the Runtime façade, so a TraceRecorder attached to
+// runtime() captures a complete, replayable hwgc-trace-v1 stream of an
+// evaluation session.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace hwgc {
+
+class Lisp {
+ public:
+  /// The constructor performs no heap operations, so a TraceRecorder may be
+  /// attached to runtime() right after construction (zero live roots).
+  explicit Lisp(Word semispace_words = 20'000, SimConfig cfg = default_config());
+
+  /// Parses and evaluates one expression; returns its printed form.
+  std::string run(const std::string& src);
+
+  void define_global(const std::string& name, Runtime::Ref value);
+
+  std::size_t gc_cycles() const { return rt_.gc_history().size(); }
+  std::uint64_t allocations() const { return rt_.heap().objects_allocated(); }
+
+  Runtime& runtime() noexcept { return rt_; }
+
+  /// 8 GC cores — the paper's prototype configuration.
+  static SimConfig default_config();
+
+  /// The demo session examples/lisp_interpreter runs (fib, range/sum,
+  /// list accessors); `scale` bounds the recursion depths so the trace
+  /// corpus can record a compact variant of the same program.
+  static std::vector<std::string> demo_program(unsigned fib_n = 16,
+                                               unsigned range_n = 60);
+
+ private:
+  using Ref = Runtime::Ref;
+
+  Word tag(Ref r) const { return rt_.get_data(r, 0); }
+  void release(Ref r) { rt_.release(r); }
+
+  Ref cons(Ref car_v, Ref cdr_v);
+  Ref number(std::int32_t v);
+  std::int32_t int_of(Ref n) const;
+  Ref symbol(const std::string& name);
+  std::string sym_name(Ref s) const;
+  Ref closure(Ref params, Ref body, Ref env);
+  Ref car(Ref c) { return rt_.load_ptr(c, 0); }
+  Ref cdr(Ref c) { return rt_.load_ptr(c, 1); }
+
+  Ref parse(const std::string& s, std::size_t& pos);
+  Ref parse_list(const std::string& s, std::size_t& pos);
+
+  bool try_lookup(Ref env, Ref sym, Ref& out);
+  Ref lookup(Ref env, Ref sym);
+  Ref eval(Ref expr, Ref env);
+  static bool is_builtin(const std::string& op);
+  Ref apply(Ref fn, const std::vector<Ref>& vals, const std::string& op);
+  std::string print(Ref v);
+
+  Runtime rt_;
+  Ref globals_{};  // assoc list of global bindings
+  std::map<std::string, Ref> interned_;
+};
+
+}  // namespace hwgc

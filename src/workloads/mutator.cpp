@@ -215,6 +215,17 @@ std::size_t ShadowMutator::validate(Runtime& rt) const {
   return mismatches;
 }
 
+std::uint64_t ShadowMutator::data_digest(const std::vector<Word>& data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (Word w : data) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ (w & 0xffu)) * 1099511628211ull;
+      w >>= 8;
+    }
+  }
+  return h;
+}
+
 std::size_t ShadowMutator::probe(Runtime& rt, std::size_t* mismatches) {
   if (live_.empty()) return 0;
   // A released-but-reachable shadow object has no Ref to read through;
@@ -226,9 +237,16 @@ std::size_t ShadowMutator::probe(Runtime& rt, std::size_t* mismatches) {
       if (mismatches != nullptr) ++*mismatches;
       return 1;
     }
-    for (Word j = 0; j < obj.delta; ++j) {
-      if (rt.get_data(obj.ref, j) != obj.data[j] && mismatches != nullptr) {
-        ++*mismatches;
+    // One observable read event per probe: read_probe digests the whole
+    // data area through the runtime's trace seam, so recorded traces carry
+    // exactly the reads the service layer issued. Only on divergence does
+    // the probe re-read word-by-word to count exact mismatches.
+    const ReadProbe read = rt.read_probe(obj.ref);
+    if (read.digest != data_digest(obj.data)) {
+      for (Word j = 0; j < obj.delta; ++j) {
+        if (rt.get_data(obj.ref, j) != obj.data[j] && mismatches != nullptr) {
+          ++*mismatches;
+        }
       }
     }
     return static_cast<std::size_t>(obj.delta);

@@ -94,6 +94,11 @@ class ShadowMutator {
   Image save_image() const;
   void restore_image(const Image& img);
 
+  /// FNV-1a 64 over a data-word vector — the shadow-side counterpart of
+  /// Runtime::read_probe's heap-side digest (identical byte order), so a
+  /// probe can compare one digest instead of every word.
+  static std::uint64_t data_digest(const std::vector<Word>& data);
+
  private:
   /// Drops shadow objects that are no longer reachable from any rooted
   /// shadow object (they are garbage in the real heap too).
