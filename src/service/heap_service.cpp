@@ -1,6 +1,7 @@
 #include "service/heap_service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -341,8 +342,17 @@ HeapService::HeapService(const ServiceConfig& cfg)
     }
     const std::size_t per_shard =
         (cfg_.traffic.sessions + cfg_.shards - 1) / cfg_.shards;
-    cfg_.semispace_words = std::max<Word>(
-        cfg_.semispace_words, static_cast<Word>(per_shard + 1) * max_trace);
+    const std::uint64_t required =
+        (static_cast<std::uint64_t>(per_shard) + 1) * max_trace;
+    if (required > std::numeric_limits<Word>::max()) {
+      throw std::invalid_argument(
+          "HeapService: trace-driven shard heap needs " +
+          std::to_string(required) +
+          " words, beyond the Word range; spread sessions over more shards "
+          "or replay smaller traces");
+    }
+    cfg_.semispace_words =
+        std::max(cfg_.semispace_words, static_cast<Word>(required));
   }
   storm_ = FaultStorm(cfg_.storm, cfg_.shards);
   if (cfg_.resilience.enabled()) {

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "core/schedule_policy.hpp"
@@ -53,6 +54,17 @@ std::string unquote(const std::string& v) {
     return v.substr(1, v.size() - 2);
   }
   return v;
+}
+
+/// Both loaders read semispace_words as u64 on the wire but store a Word;
+/// reject out-of-range values instead of silently truncating to a tiny
+/// semispace that fails later with a confusing object-does-not-fit error.
+Word checked_semispace_words(std::uint64_t v) {
+  if (v > std::numeric_limits<Word>::max()) {
+    fail("semispace_words " + std::to_string(v) + " out of range (max " +
+         std::to_string(std::numeric_limits<Word>::max()) + ")");
+  }
+  return static_cast<Word>(v);
 }
 
 bool parse_kind(const std::string& name, TraceOp::Kind& out) {
@@ -184,10 +196,14 @@ std::vector<std::string> check_trace(const Trace& trace) {
                         " words cannot fit the declared semispace");
         }
         ObjState st;
-        st.pi = static_cast<Word>(op.b);
-        st.delta = static_cast<Word>(op.c);
+        // An out-of-encoding shape was noted above; record it as a zero
+        // shape so later field/index checks bound against the children
+        // mirror actually allocated instead of a truncated pi.
+        const bool shape_ok = op.b <= kMaxPi && op.c <= kMaxDelta;
+        st.pi = shape_ok ? static_cast<Word>(op.b) : 0;
+        st.delta = shape_ok ? static_cast<Word>(op.c) : 0;
         st.live_roots = 1;
-        st.children.assign(op.b <= kMaxPi ? st.pi : 0, kNoTraceId);
+        st.children.assign(st.pi, kNoTraceId);
         objs.push_back(std::move(st));
         break;
       }
@@ -377,7 +393,8 @@ Trace trace_from_jsonl(const std::string& text) {
       TraceHeader h;
       h.name = need_str(kv, "name", where);
       h.version = 1;
-      h.semispace_words = need_u64(kv, "semispace_words", where);
+      h.semispace_words =
+          checked_semispace_words(need_u64(kv, "semispace_words", where));
       h.cores = static_cast<std::uint32_t>(need_u64(kv, "cores", where));
       h.header_fifo_capacity =
           static_cast<std::uint32_t>(need_u64(kv, "fifo", where));
@@ -520,7 +537,7 @@ Trace trace_from_binary(const std::string& bytes) {
   TraceHeader& h = trace.header;
   h.version = 1;
   h.name = r.str(r.u32());
-  h.semispace_words = r.u64();
+  h.semispace_words = checked_semispace_words(r.u64());
   h.cores = r.u32();
   h.header_fifo_capacity = r.u32();
   const std::uint8_t sched = r.u8();

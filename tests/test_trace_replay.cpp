@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "heap/object_model.hpp"
 #include "service/heap_service.hpp"
 #include "service/service_metrics.hpp"
 #include "sim/trace.hpp"
@@ -290,6 +291,61 @@ TEST(TraceLoader, OutOfRangeObjectIdFails) {
   expect_load_failure(trace_to_jsonl(t), "out-of-range object id");
 }
 
+TEST(TraceLoader, OversizedShapeDoesNotCorruptValidation) {
+  // Regression: an alloc whose pi exceeds the header encoding used to keep
+  // the truncated pi while sizing the children mirror to zero, so a later
+  // link/load through a nominally in-range field indexed out of bounds.
+  Trace t;
+  t.header.name = "badshape";
+  TraceOp alloc;
+  alloc.kind = TraceOp::Kind::kAlloc;
+  alloc.a = 0;
+  alloc.b = static_cast<std::uint64_t>(kMaxPi) + 1;
+  alloc.c = 0;
+  t.ops.push_back(alloc);
+  TraceOp link;
+  link.kind = TraceOp::Kind::kLink;
+  link.a = 0;
+  link.b = 0;
+  link.c = kNoTraceId;
+  t.ops.push_back(link);
+  TraceOp load;
+  load.kind = TraceOp::Kind::kLoad;
+  load.a = 0;
+  load.b = 0;
+  load.c = 0;
+  t.ops.push_back(load);
+  expect_load_failure(trace_to_jsonl(t), "exceeds the header encoding");
+}
+
+TEST(TraceLoader, SemispaceWordsBeyondWordRangeFails) {
+  std::string text = trace_to_jsonl(tiny_trace());
+  const std::string field = "\"semispace_words\":";
+  const auto pos = text.find(field);
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = text.find(',', pos);
+  text.replace(pos + field.size(), end - pos - field.size(), "4294967296");
+  expect_load_failure(text, "semispace_words 4294967296 out of range");
+}
+
+TEST(TraceLoader, BinarySemispaceWordsBeyondWordRangeFails) {
+  const Trace t = tiny_trace();
+  std::string bin = trace_to_binary(t);
+  // magic(8) + version(4) + name_len(4) + name, then semispace as u64 LE;
+  // setting the fifth byte adds 2^32 to the declared semispace.
+  const std::size_t off = 16 + t.header.name.size() + 4;
+  ASSERT_LT(off, bin.size());
+  bin[off] = 1;
+  try {
+    trace_from_binary(bin);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("semispace_words"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
 TEST(TraceLoader, VersionSkewFails) {
   std::string text = trace_to_jsonl(tiny_trace());
   const auto pos = text.find("\"version\":1");
@@ -431,6 +487,21 @@ TEST(TraceService, SerialAndShardPoolRunsAreByteIdentical) {
 TEST(TraceService, EmptyTraceListIsRejected) {
   ServiceConfig cfg;
   cfg.traces = std::make_shared<std::vector<Trace>>();
+  EXPECT_THROW(HeapService{cfg}, std::invalid_argument);
+}
+
+TEST(TraceService, TraceShardSizingBeyondWordRangeIsRejected) {
+  // Regression: sizing the shard heap for (sessions-per-shard + 1) traces
+  // used to multiply in 32-bit Word arithmetic, wrapping silently for
+  // large recorded semispaces and undersizing the shard.
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.traffic.sessions = 16;
+  auto traces = std::make_shared<std::vector<Trace>>();
+  Trace big = trace_from_churn(7, 300);
+  big.header.semispace_words = Word{1} << 30;  // 17 sessions' worth wraps
+  traces->push_back(std::move(big));
+  cfg.traces = std::move(traces);
   EXPECT_THROW(HeapService{cfg}, std::invalid_argument);
 }
 
