@@ -34,8 +34,8 @@
 // requests per frame for --collections frames under --scheduler. --json
 // then writes the hwgc-service-v1 section.
 //     --shards=N        fleet size; 0 (default) keeps the classic panel
-//     --scheduler=NAME  reactive | proactive | roundrobin (default
-//                       proactive)
+//     --scheduler=NAME  reactive | proactive | roundrobin | pauseless
+//                       (default proactive)
 //     --storm=PCT       fault-storm PCT% of the fleet (stormed shards are
 //                       marked *storm in the panel)
 //     --supervise       health supervision + checkpoint/restore; the panel
@@ -216,6 +216,14 @@ void render(const CliOptions& o, const Runtime& rt, const ShadowMutator& mut) {
               static_cast<unsigned long long>(s.fifo_misses),
               static_cast<unsigned long long>(s.fifo_overflows),
               static_cast<unsigned long long>(s.mem_requests));
+  if (s.snapshot_stores + s.reconciliation_repairs + s.safe_point_waits > 0) {
+    // Pauseless snapshot collector only — the barrier/reconciliation line.
+    std::printf("barrier: %llu snapshot stores, %llu repairs, "
+                "%llu safe-point waits\n",
+                static_cast<unsigned long long>(s.snapshot_stores),
+                static_cast<unsigned long long>(s.reconciliation_repairs),
+                static_cast<unsigned long long>(s.safe_point_waits));
+  }
   std::printf("session: mean %.0f clk/cycle, worst %llu\n\n",
               static_cast<double>(sum) / static_cast<double>(hist.size()),
               static_cast<unsigned long long>(worst));

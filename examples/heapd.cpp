@@ -14,14 +14,14 @@
 //
 // The sweep recipes from EXPERIMENTS.md:
 //   heapd --shards 8 --scheduler proactive --requests 50000 --seed 1
-//   heapd --shards 2,4,8 --scheduler reactive,proactive,roundrobin \
+//   heapd --shards 2,4,8 --scheduler reactive,proactive,pauseless \
 //         --load 0.5,1.0,2.0 --requests 20000 --json BENCH_heapd.json
 //   heapd --shards 4 --faults 2 --fault-shard 1 --requests 10000
 //
 // Options (space-separated values, fault_lab style):
 //   --shards a,b,..     shard counts to sweep (default 4)
-//   --scheduler a,b,..  policies: reactive proactive roundrobin (default
-//                       reactive)
+//   --scheduler a,b,..  policies: reactive proactive roundrobin
+//                       pauseless (default reactive)
 //   --load a,b,..       offered loads, open loop only (default 1.0)
 //   --requests N        requests per configuration (default 20000)
 //   --seed N            traffic seed (default 1)
@@ -153,8 +153,8 @@ void usage(std::FILE* to) {
   std::fprintf(
       to,
       "usage: heapd [options]\n"
-      "  sweep:   --shards a,b,..  --scheduler reactive|proactive|roundrobin"
-      ",..\n"
+      "  sweep:   --shards a,b,..  --scheduler\n"
+      "           reactive|proactive|roundrobin|pauseless,..\n"
       "           --load a,b,..  --requests N  --seed N  --sessions N\n"
       "  shard:   --heap-words N  --cores N  --closed-loop  --host-threads N\n"
       "           --fast-forward 0|1  --slo N  --max-backlog N  --no-oracle\n"

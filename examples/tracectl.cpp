@@ -9,6 +9,7 @@
 //   tracectl validate t.jsonl ...                       # digest + structure
 //   tracectl stats t.jsonl ...                          # op histogram
 //   tracectl minimize --seed N --out t.jsonl            # fuzz -> trace bridge
+//   tracectl transform t.jsonl --scale-sizes 2 --out big.jsonl
 //
 // replay exit status is 0 only if every cycle passed the conformance
 // post-structure oracle, every read probe matched its recorded digest, and
@@ -39,7 +40,9 @@ int usage() {
       "  replay    FILE [--collector NAME | --all] [--threads N] [--seed N]\n"
       "  validate  FILE...            verify digest + structural invariants\n"
       "  stats     FILE...            header + op-kind histogram\n"
-      "  minimize  --seed N --out FILE [--budget N]   fuzz-case -> trace\n");
+      "  minimize  --seed N --out FILE [--budget N]   fuzz-case -> trace\n"
+      "  transform FILE --scale-sizes F --out FILE [--binary]\n"
+      "            rescale object data sizes, re-deriving read digests\n");
   return 2;
 }
 
@@ -238,6 +241,35 @@ int cmd_minimize(int argc, char** argv) {
   return verdict.ok ? 0 : 1;
 }
 
+int cmd_transform(int argc, char** argv) {
+  std::string in;
+  std::string out;
+  bool binary = false;
+  std::optional<double> scale;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale-sizes" && i + 1 < argc) scale = std::atof(argv[++i]);
+    else if (arg == "--out" && i + 1 < argc) out = argv[++i];
+    else if (arg == "--binary") binary = true;
+    else if (arg.rfind("--", 0) == 0) return usage();
+    else if (in.empty()) in = arg;
+    else return usage();
+  }
+  if (in.empty() || out.empty() || !scale) return usage();
+
+  const Trace trace = load_trace(in);
+  const Trace scaled = scale_trace_sizes(trace, *scale);
+  save_trace(out, scaled, binary);
+  std::printf("%s: %zu events -> %zu, semispace %llu -> %llu, "
+              "digest 0x%llx -> 0x%llx\n",
+              out.c_str(), trace.ops.size(), scaled.ops.size(),
+              static_cast<unsigned long long>(trace.header.semispace_words),
+              static_cast<unsigned long long>(scaled.header.semispace_words),
+              static_cast<unsigned long long>(trace.digest()),
+              static_cast<unsigned long long>(scaled.digest()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -250,6 +282,7 @@ int main(int argc, char** argv) {
     if (cmd == "validate") return cmd_validate(argc - 2, argv + 2);
     if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
     if (cmd == "minimize") return cmd_minimize(argc - 2, argv + 2);
+    if (cmd == "transform") return cmd_transform(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tracectl: %s\n", e.what());
     return 1;

@@ -1,0 +1,82 @@
+#include "concurrent_mutator/safe_point.hpp"
+
+namespace hwgc {
+
+SafePointRegistry::Scope::Scope(SafePointRegistry& reg) : reg_(reg) {
+  reg_.enter();
+}
+
+SafePointRegistry::Scope::~Scope() { reg_.leave(); }
+
+void SafePointRegistry::enter() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (++depth_[std::this_thread::get_id()] == 1) ++threads_;
+}
+
+void SafePointRegistry::leave() {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = depth_.find(std::this_thread::get_id());
+  if (--it->second == 0) {
+    depth_.erase(it);
+    --threads_;
+    // Opting out counts as reaching a safe point: a pending pause must not
+    // wait for a thread that no longer exists.
+    if (stop_.load(std::memory_order_relaxed) != 0 && all_parked_locked()) {
+      all_in_.notify_all();
+    }
+  }
+}
+
+MutatorPhase SafePointRegistry::poll() {
+  if (stop_.load(std::memory_order_acquire) == 0) return phase();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stop_.load(std::memory_order_relaxed) == 0) return phase();
+  ++waits_;
+  ++parked_;
+  if (all_parked_locked()) all_in_.notify_all();
+  released_.wait(lk, [&] {
+    return stop_.load(std::memory_order_relaxed) == 0;
+  });
+  --parked_;
+  return phase();
+}
+
+void SafePointRegistry::request_stop() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stop_.store(1, std::memory_order_release);
+  if (all_parked_locked()) all_in_.notify_all();
+}
+
+bool SafePointRegistry::await_parked_for(std::chrono::milliseconds budget) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return all_in_.wait_for(lk, budget, [&] { return all_parked_locked(); });
+}
+
+void SafePointRegistry::await_parked() {
+  std::unique_lock<std::mutex> lk(mu_);
+  all_in_.wait(lk, [&] { return all_parked_locked(); });
+}
+
+void SafePointRegistry::resume(MutatorPhase next) {
+  std::lock_guard<std::mutex> lk(mu_);
+  phase_.store(static_cast<std::uint32_t>(next), std::memory_order_relaxed);
+  stop_.store(0, std::memory_order_release);
+  released_.notify_all();
+}
+
+std::size_t SafePointRegistry::opted_in() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return threads_;
+}
+
+std::size_t SafePointRegistry::parked() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return parked_;
+}
+
+std::uint64_t SafePointRegistry::safe_point_waits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waits_;
+}
+
+}  // namespace hwgc

@@ -17,6 +17,7 @@ const char* to_string(CollectorId id) noexcept {
     case CollectorId::kPackets: return "packets";
     case CollectorId::kStealing: return "stealing";
     case CollectorId::kConcurrent: return "concurrent";
+    case CollectorId::kSnapshot: return "snapshot";
     case CollectorId::kCount: break;
   }
   return "?";
@@ -67,6 +68,12 @@ CollectorTraits traits_of(CollectorId id) noexcept {
       break;
     case CollectorId::kConcurrent:
       t.preserves_image = false;
+      break;
+    case CollectorId::kSnapshot:
+      t.deterministic = false;
+      t.preserves_image = false;
+      t.threaded = true;
+      t.concurrent_mutator = true;
       break;
     case CollectorId::kCount:
       break;
@@ -226,6 +233,32 @@ class ConcurrentHarness final : public CollectorHarness {
   ConcurrentCycle::Config cfg_;
 };
 
+class SnapshotHarness final : public CollectorHarness {
+ public:
+  explicit SnapshotHarness(const HarnessConfig& cfg) {
+    cfg_.threads = cfg.threads;
+    cfg_.mutator_threads = cfg.mutator_threads;
+    cfg_.mutator_registers = cfg.mutator_registers;
+    cfg_.mutator_seed = cfg.mutator_seed;
+    cfg_.torture = cfg.torture;
+  }
+  CollectorId id() const noexcept override { return CollectorId::kSnapshot; }
+  CycleReport collect(Heap& heap) override {
+    const SnapshotGcStats s = SnapshotCollector(cfg_).collect(heap);
+    CycleReport r;
+    r.objects_copied = s.objects_copied;
+    r.words_copied = s.words_copied;
+    r.sync_ops = s.cas_ops;
+    r.evacuations = s.objects_copied;
+    r.validation_mismatches = s.validation_mismatches;
+    r.snapshot = s;
+    return r;
+  }
+
+ private:
+  SnapshotCollector::Config cfg_;
+};
+
 }  // namespace
 
 std::unique_ptr<CollectorHarness> make_harness(CollectorId id,
@@ -245,6 +278,8 @@ std::unique_ptr<CollectorHarness> make_harness(CollectorId id,
       return std::make_unique<StealingHarness>(cfg);
     case CollectorId::kConcurrent:
       return std::make_unique<ConcurrentHarness>(cfg);
+    case CollectorId::kSnapshot:
+      return std::make_unique<SnapshotHarness>(cfg);
     case CollectorId::kCount:
       break;
   }

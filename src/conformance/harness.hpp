@@ -1,7 +1,7 @@
 // Collector-agnostic harness: every collector in the repository behind one
 // `collect(Heap&) -> CycleReport` entry point.
 //
-// The seven collectors have seven different front doors — the coprocessor
+// The eight collectors have eight different front doors — the coprocessor
 // takes a SimConfig and optional traces, the sequential reference is a
 // static function, the four software baselines each carry their own Config
 // struct, and the concurrent cycle owns a mutator simulation. The
@@ -21,6 +21,7 @@
 
 #include "baselines/parallel_common.hpp"
 #include "baselines/sequential_cheney.hpp"
+#include "concurrent_mutator/snapshot_collector.hpp"
 #include "core/concurrent_cycle.hpp"
 #include "heap/heap.hpp"
 #include "sim/config.hpp"
@@ -38,6 +39,8 @@ enum class CollectorId : std::uint8_t {
   kPackets,       ///< Ossia et al. work packets
   kStealing,      ///< Flood et al. work stealing with LABs
   kConcurrent,    ///< coprocessor + read-barrier mutator running during GC
+  kSnapshot,      ///< pauseless SATB double-pointer collector, real mutator
+                  ///< threads (src/concurrent_mutator/)
   kCount
 };
 
@@ -49,7 +52,7 @@ const char* to_string(CollectorId id) noexcept;
 /// Parses a collector name as printed by to_string; nullopt on junk.
 std::optional<CollectorId> parse_collector(const std::string& name);
 
-/// All seven collectors, in enum order — for matrix drivers.
+/// Every collector in enum order — for matrix drivers.
 std::vector<CollectorId> all_collectors();
 
 /// What each collector guarantees — drives which oracle checks apply.
@@ -72,6 +75,11 @@ struct CollectorTraits {
   bool preserves_image = true;
   /// Runs real std::threads (so it is interesting under TSan and torture).
   bool threaded = false;
+  /// Real mutator threads allocate and mutate *while the cycle runs* (the
+  /// pauseless snapshot collector only). Implies !preserves_image; the
+  /// oracle switches to the snapshot-subset check plus the collector's own
+  /// shadow-graph cross-validation of mutations that raced the cycle.
+  bool concurrent_mutator = false;
 };
 
 CollectorTraits traits_of(CollectorId id) noexcept;
@@ -99,6 +107,7 @@ struct CycleReport {
   std::optional<SequentialGcStats> sequential;
   std::optional<ParallelGcStats> parallel;
   std::optional<ConcurrentStats> concurrent;
+  std::optional<SnapshotGcStats> snapshot;
 };
 
 /// Knobs shared across the whole matrix; each harness picks out what its
@@ -118,10 +127,14 @@ struct HarnessConfig {
   /// Concurrent cycle: mutator program seed and op spacing.
   std::uint64_t mutator_seed = 1;
   std::uint32_t mutator_op_spacing = 3;
-  /// Concurrent cycle: mutator register-file size. 0 runs the cycle
-  /// quiescent (no mutator roots, no mutator operations) — the trace
-  /// replayer's mode, where the recorded op stream is the only mutator.
+  /// Concurrent cycle + snapshot collector: mutator register-file size.
+  /// 0 runs the cycle quiescent (no mutator roots, no mutator operations)
+  /// — the trace replayer's mode, where the recorded op stream is the only
+  /// mutator.
   std::uint32_t mutator_registers = 16;
+  /// Snapshot collector only: real mutator threads spawned for the cycle.
+  /// 0 is quiescent, same convention as mutator_registers.
+  std::uint32_t mutator_threads = 2;
 };
 
 /// One collector behind the uniform entry point. Stateless between calls:

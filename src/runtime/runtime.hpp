@@ -82,7 +82,7 @@ class RuntimeTraceSink {
 /// coprocessor. The plugin must leave the heap flipped with roots
 /// redirected and the allocation pointer published (the CollectorHarness
 /// contract). The replayer uses this to drive one recorded trace under any
-/// of the seven collectors.
+/// collector in the inventory.
 class CollectorPlugin {
  public:
   virtual ~CollectorPlugin() = default;

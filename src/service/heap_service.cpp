@@ -66,6 +66,7 @@ struct HeapService::ShardState final : CollectionObserver {
         oracle(cfg.oracle),
         resilient(cfg.resilience.enabled()),
         profiling(cfg.profile.enabled),
+        pauseless(cfg.scheduler == GcSchedulerKind::kPauseless),
         exemplar_cap(cfg.profile.exemplars),
         checkpoint_interval(cfg.resilience.checkpoint_interval),
         sessions(cfg.traffic.sessions),
@@ -73,6 +74,18 @@ struct HeapService::ShardState final : CollectionObserver {
         rt(cfg.semispace_words, shard_sim_config(index_, cfg, storm)),
         mutator(shard_mutator_config(index_, cfg)) {
     rt.set_collection_observer(this);
+    if (pauseless) {
+      // Every cycle on this shard — scheduled or exhaustion-triggered —
+      // runs through the pauseless SATB snapshot collector. One worker
+      // thread keeps the quiescent cycle bit-deterministic (the byte-
+      // identity proof across host thread counts depends on it); the
+      // plugin forces mutator_threads = 0 because the shard's sessions ARE
+      // the mutator — their stores all land between cycles.
+      HarnessConfig hc;
+      hc.threads = 1;
+      plugin = std::make_unique<HarnessPlugin>(CollectorId::kSnapshot, hc);
+      rt.set_collector(plugin.get());
+    }
     if (profiling) rt.enable_profiling();
     if (resilient) {
       // Checkpoint 0: the pristine construction state, so a restore is
@@ -128,14 +141,23 @@ struct HeapService::ShardState final : CollectionObserver {
   void after_collection(Runtime& r, const GcCycleStats& s) override {
     ++stats.collections;
     stats.gc_cycle_total += s.total_cycles;
-    pending_gc += s.total_cycles;
+    // Pauseless split: only the two rendezvous pauses block the shard; the
+    // concurrent copying phase becomes debt drained as per-request service
+    // overhead (execute_request) instead of stall.
+    Cycle blocking = s.total_cycles;
+    if (pauseless && plugin != nullptr && plugin->has_report() &&
+        plugin->last_report().snapshot.has_value()) {
+      const SnapshotGcStats& snap = *plugin->last_report().snapshot;
+      blocking = snap.pause_cycles;
+      concurrent_debt += snap.concurrent_cycles;
+    }
+    pending_gc += blocking;
     if (profiling) {
       // Link key for the exemplar span trees: the slot this cycle took in
       // the runtime's gc_history / profile_history (pushed just before the
-      // observer ran).
+      // observer ran). The charge carries only the stall-chargeable cycles.
       pending_charges.push_back(
-          {static_cast<long long>(r.gc_history().size()) - 1,
-           s.total_cycles});
+          {static_cast<long long>(r.gc_history().size()) - 1, blocking});
     }
     requests_since_gc = 0;
     if (!r.recovery_history().empty()) {
@@ -190,6 +212,7 @@ struct HeapService::ShardState final : CollectionObserver {
     clean_cycles = 0;
     gc_backlog = 0;
     pending_gc = 0;
+    concurrent_debt = 0;
     pending_charges.clear();
     uncharged.clear();
     requests_since_gc = 0;
@@ -207,7 +230,13 @@ struct HeapService::ShardState final : CollectionObserver {
   /// held to the image properties only (liveness + dense compaction).
   std::size_t run_oracle(Runtime& r, const GcCycleStats& s) {
     std::vector<std::string> errors;
-    if (fault_injected) {
+    if (pauseless && plugin != nullptr && plugin->has_report()) {
+      // The snapshot collector has its own structure oracle (SATB totality,
+      // injectivity, dense extent, reconciliation counters) keyed off the
+      // full CycleReport the plugin kept.
+      check_post_structure(CollectorId::kSnapshot, *pre, r.heap(),
+                           plugin->last_report(), errors);
+    } else if (fault_injected) {
       const VerifyResult vr = verify_collection(*pre, r.heap());
       errors = vr.errors;
     } else {
@@ -265,6 +294,7 @@ struct HeapService::ShardState final : CollectionObserver {
   const bool oracle;
   const bool resilient;
   const bool profiling;
+  const bool pauseless;
   const std::size_t exemplar_cap;
   const std::uint32_t checkpoint_interval;
   const std::uint32_t sessions;
@@ -272,6 +302,9 @@ struct HeapService::ShardState final : CollectionObserver {
   const std::shared_ptr<const std::vector<Trace>> traces;
   Runtime rt;
   ShadowMutator mutator;
+  /// Pauseless mode: the shard's snapshot-collector backend (installed as
+  /// the runtime's CollectorPlugin at construction; null otherwise).
+  std::unique_ptr<HarnessPlugin> plugin;
   std::map<std::uint32_t, TraceCursor> cursors;  ///< per-session replay
 
   Cycle next_free = 0;          ///< virtual cycle the backlog drains
@@ -279,6 +312,9 @@ struct HeapService::ShardState final : CollectionObserver {
                                 ///< not yet charged to any request
   std::uint64_t requests_since_gc = 0;
   Cycle pending_gc = 0;         ///< cycles collected since last harvest
+  /// Pauseless mode: concurrent-phase cycles not yet drained into any
+  /// request's service overhead (always 0 under the STW schedulers).
+  Cycle concurrent_debt = 0;
 
   // --- Profiling state (lane-owned, mirrors the cycle bookkeeping above;
   // all empty when profiling is off) --------------------------------------
@@ -313,6 +349,17 @@ HeapService::HeapService(const ServiceConfig& cfg)
   if (cfg_.fault_shard != ServiceConfig::kNoShard &&
       cfg_.fault_shard >= cfg_.shards) {
     throw std::invalid_argument("HeapService: fault_shard out of range");
+  }
+  if (cfg_.scheduler == GcSchedulerKind::kPauseless &&
+      (cfg_.fault_shard != ServiceConfig::kNoShard || cfg_.storm.enabled() ||
+       cfg_.sim.fault.events > 0 || cfg_.sim.recovery.enabled)) {
+    // Faulted shards collect through the RecoveringCollector, which the
+    // runtime refuses to combine with a collector plugin — and the
+    // pauseless snapshot collector has no fault-injection model of its own.
+    throw std::invalid_argument(
+        "HeapService: the pauseless scheduler cannot run with fault "
+        "injection or recovery (the snapshot collector replaces the "
+        "coprocessor path the fault model instruments)");
   }
   if (cfg_.storm.enabled() && cfg_.storm.crash_period > 0 &&
       !cfg_.resilience.supervise) {
@@ -540,7 +587,20 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
     ++sh.stats.failed;
     return;
   }
-  const Cycle service = traffic_.service_cost(steps, read_words);
+  Cycle service = traffic_.service_cost(steps, read_words);
+  // Pauseless mode: drain a slice of the outstanding concurrent-phase debt
+  // as overhead INSIDE this request's service time — an eighth of the
+  // request's own cost, plus one so the debt always shrinks. The latency
+  // partition (service + queue + stall == latency) is untouched; the
+  // gc_concurrent_cycles counter records the sub-component so the A/B
+  // against a stop-the-world scheduler stays honest about where the
+  // concurrent collector's work went.
+  Cycle concurrent_overhead = 0;
+  if (sh.concurrent_debt > 0) {
+    concurrent_overhead = std::min(sh.concurrent_debt, service / 8 + 1);
+    sh.concurrent_debt -= concurrent_overhead;
+    service += concurrent_overhead;
+  }
   const Cycle total = wait + own_gc + service;
 
   sh.next_free = start + own_gc + service;
@@ -557,6 +617,7 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
     e.inherited_stall = inherited_stall;
     e.own_gc = own_gc;
     e.service = service;
+    e.gc_concurrent = concurrent_overhead;
     e.hops = hops;
     e.own = std::move(own);
     e.inherited = std::move(inherited);
@@ -566,6 +627,7 @@ void HeapService::execute_request(ShardState& sh, const Request& req,
   ++sh.requests_since_gc;
   sh.stats.latency.record(total);
   sh.stats.service_cycles += service;
+  sh.stats.gc_concurrent_cycles += concurrent_overhead;
   sh.stats.queue_cycles += wait - inherited_stall;
   sh.stats.stall_cycles += inherited_stall + own_gc;
   const bool violation = cfg_.slo_cycles > 0 && total > cfg_.slo_cycles;

@@ -59,6 +59,9 @@ void MetricsRegistry::record(const Key& key, const SimConfig& cfg,
   a.fifo_overflows += s.fifo_overflows;
   a.faults_fired += s.faults_fired;
   a.drain_cycles += s.drain_cycles;
+  a.snapshot_stores += s.snapshot_stores;
+  a.reconciliation_repairs += s.reconciliation_repairs;
+  a.safe_point_waits += s.safe_point_waits;
 }
 
 void MetricsRegistry::set_sequential_baseline(const std::string& benchmark,
@@ -127,6 +130,10 @@ std::string MetricsRegistry::to_jsonl(const std::string& suite) const {
       out += ",\"" + stall_field(static_cast<StallReason>(r)) +
              "\":" + fmt_double(sorted.empty() ? 0.0 : a.stall_sum[r] / n);
     }
+    out += ",\"snapshot_stores\":" + std::to_string(a.snapshot_stores);
+    out += ",\"reconciliation_repairs\":" +
+           std::to_string(a.reconciliation_repairs);
+    out += ",\"safe_point_waits\":" + std::to_string(a.safe_point_waits);
     out += "}\n";
   }
   return out;
@@ -255,6 +262,9 @@ constexpr FieldSpec kSchemaV1[] = {
     {"stall_header_store", false},
     {"stall_barrier", false},
     {"stall_fault", false},
+    {"snapshot_stores", false},
+    {"reconciliation_repairs", false},
+    {"safe_point_waits", false},
 };
 
 }  // namespace
@@ -308,6 +318,15 @@ bool validate_bench_jsonl_line(const std::string& line, std::string* error) {
   const double wef = num("worklist_empty_fraction");
   if (wef < 0.0 || wef > 1.0) {
     if (error != nullptr) *error = "worklist_empty_fraction outside [0,1]";
+    return false;
+  }
+  // Pauseless barrier accounting: every reconciliation repair replays a
+  // logged mid-cycle store, so repairs can never exceed the stores the
+  // barrier diverted.
+  if (num("reconciliation_repairs") > num("snapshot_stores")) {
+    if (error != nullptr) {
+      *error = "reconciliation_repairs exceeds snapshot_stores";
+    }
     return false;
   }
   return true;

@@ -78,6 +78,11 @@ class MetricsRegistry {
     std::uint64_t fifo_overflows = 0;
     std::uint64_t faults_fired = 0;
     Cycle drain_cycles = 0;
+    /// Pauseless snapshot collector barrier/reconciliation counters
+    /// (sim/counters.hpp); stay 0 for every other collector family.
+    std::uint64_t snapshot_stores = 0;
+    std::uint64_t reconciliation_repairs = 0;
+    std::uint64_t safe_point_waits = 0;
   };
 
   std::map<Key, Aggregate> aggregates_;

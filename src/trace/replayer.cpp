@@ -36,8 +36,10 @@ CycleReport report_from_stats(const GcCycleStats& s) {
 
 HarnessPlugin::HarnessPlugin(CollectorId id, HarnessConfig cfg) : id_(id) {
   // The recorded op stream is the only mutator a replay may have: run the
-  // concurrent collector's synthetic mutator quiescent.
+  // concurrent cycle's synthetic mutator and the snapshot collector's real
+  // mutator threads quiescent.
   if (id == CollectorId::kConcurrent) cfg.mutator_registers = 0;
+  if (id == CollectorId::kSnapshot) cfg.mutator_threads = 0;
   harness_ = make_harness(id, cfg);
 }
 
@@ -49,6 +51,17 @@ GcCycleStats HarnessPlugin::collect(Heap& heap) {
   stats.objects_copied = last_.objects_copied;
   stats.words_copied = last_.words_copied;
   stats.lock_order_violations = last_.lock_order_violations;
+  if (last_.snapshot.has_value()) {
+    // The pauseless collector has a virtual clock of its own: total wall
+    // time is the two pauses plus the overlapped concurrent phase, and the
+    // barrier/reconciliation counters ride the coprocessor stat block into
+    // hwgc-bench-v1.
+    stats.total_cycles =
+        last_.snapshot->pause_cycles + last_.snapshot->concurrent_cycles;
+    stats.snapshot_stores = last_.snapshot->snapshot_stores;
+    stats.reconciliation_repairs = last_.snapshot->reconciliation_repairs;
+    stats.safe_point_waits = last_.snapshot->safe_point_waits;
+  }
   // Software collectors run outside the coprocessor clock; the stats they
   // cannot fill stay zero and restart_stores_drained stays true (their
   // stores are plain memory writes, committed before collect() returns).

@@ -1,5 +1,5 @@
 // TraceReplayer: drives a recorded hwgc-trace-v1 op stream against a live
-// Runtime — under any of the seven collectors — and verifies it as it goes.
+// Runtime — under any collector in the inventory — and verifies it as it goes.
 //
 // Determinism argument (DESIGN.md §16): a trace is a closed mutator
 // program over allocation-order object ids. Replay keeps, per id, the live
@@ -33,7 +33,7 @@ namespace hwgc {
 
 /// Runtime::CollectorPlugin adapter over a CollectorHarness: routes the
 /// runtime's collection cycles (explicit and exhaustion-triggered) through
-/// any of the seven collectors. The concurrent collector runs quiescent
+/// any collector in the inventory. The concurrent collector runs quiescent
 /// (mutator_registers forced to 0): the recorded op stream is the only
 /// mutator, so its reads/data must not be perturbed by a synthetic one.
 class HarnessPlugin final : public CollectorPlugin {

@@ -276,6 +276,72 @@ std::vector<std::string> check_trace(const Trace& trace) {
   return findings;
 }
 
+Trace scale_trace_sizes(const Trace& trace, double factor) {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument(
+        "scale_trace_sizes: factor must be > 0, got " +
+        std::to_string(factor));
+  }
+  Trace out;
+  out.header = trace.header;
+  out.ops.reserve(trace.ops.size());
+  // Replay-state shadow of the transformed stream: per-id rescaled delta
+  // and current data words (allocation zero-fills), so every kRead can be
+  // re-derived exactly as Runtime::read_probe would observe it.
+  std::vector<std::uint64_t> deltas;
+  std::vector<std::vector<std::uint64_t>> data;
+  Word max_object = 0;
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kAlloc: {
+        std::uint64_t scaled = static_cast<std::uint64_t>(
+            static_cast<double>(op.c) * factor + 0.5);
+        if (scaled > kMaxDelta) scaled = kMaxDelta;
+        deltas.push_back(scaled);
+        data.emplace_back(scaled, 0);
+        if (op.b <= kMaxPi) {
+          const Word words =
+              object_words(static_cast<Word>(op.b), static_cast<Word>(scaled));
+          if (words > max_object) max_object = words;
+        }
+        out.ops.push_back({op.kind, op.a, op.b, scaled});
+        break;
+      }
+      case TraceOp::Kind::kData:
+        if (op.a < data.size() && op.b < deltas[op.a]) {
+          data[op.a][op.b] = op.c;
+          out.ops.push_back(op);
+        }
+        break;
+      case TraceOp::Kind::kRead: {
+        std::uint64_t digest = kFnvOffset;
+        if (op.a < data.size()) {
+          for (std::uint64_t w : data[op.a]) fnv_u64(digest, w);
+          out.ops.push_back({op.kind, op.a, deltas[op.a], digest});
+        }
+        break;
+      }
+      default:
+        out.ops.push_back(op);
+        break;
+    }
+  }
+  // Grow the declared semispace with the workload so the scaled stream
+  // still fits: proportionally for factor > 1, and never below the largest
+  // single object (check_trace's fit invariant). Shrinking traces keep
+  // their original semispace — less occupancy just means fewer implicit
+  // collections, which is always replayable.
+  if (factor > 1.0) {
+    const double grown =
+        static_cast<double>(trace.header.semispace_words) * factor;
+    out.header.semispace_words = static_cast<Word>(grown + 0.5);
+  }
+  if (out.header.semispace_words < max_object) {
+    out.header.semispace_words = max_object;
+  }
+  return out;
+}
+
 std::string trace_to_jsonl(const Trace& trace) {
   const TraceHeader& h = trace.header;
   std::ostringstream os;

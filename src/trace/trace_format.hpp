@@ -7,8 +7,8 @@
 // pointer store, root retain/release, read probe, collection hint). Object
 // ids are assigned in allocation order starting at 0, so a trace never
 // mentions heap addresses or root-slot indices — which is exactly what
-// makes one trace replayable under all seven collectors, whose object
-// layouts differ.
+// makes one trace replayable under every collector in the repository,
+// whose object layouts differ.
 //
 // Two serializations share one FNV-1a 64 stream digest computed over the
 // canonical binary encoding of the operations:
@@ -147,6 +147,19 @@ Trace trace_from_binary(const std::string& bytes);
 void save_trace(const std::string& path, const Trace& trace,
                 bool binary = false);
 Trace load_trace(const std::string& path);
+
+/// Size-scaling transform (`tracectl transform --scale-sizes F`): returns
+/// a copy of `trace` whose object data areas are `factor` times larger.
+/// Every kAlloc delta is rescaled (rounded, clamped to kMaxDelta), kData
+/// stores whose word index falls outside the rescaled area are dropped,
+/// and every kRead probe is re-derived — its word count and FNV-1a data
+/// digest are recomputed against the transformed stream, so the scaled
+/// trace still replays with zero read mismatches. Pointer shapes (pi) and
+/// the link topology are untouched: the live graph keeps its structure,
+/// only its memory footprint changes. The header's semispace grows when
+/// the scaled allocations need the room. Throws std::invalid_argument
+/// unless factor > 0; factor == 1 is the identity.
+Trace scale_trace_sizes(const Trace& trace, double factor);
 
 /// Schema gate for one hwgc-trace-v1 JSONL line — same contract as
 /// validate_bench_jsonl_line, dispatched by schema from bench_validate.

@@ -1,8 +1,10 @@
 // Cross-collector conformance matrix: every collector in the repository,
 // over a shared random-graph corpus, through the property oracle of
-// src/conformance/conformance.hpp. 216 configurations in total — six
+// src/conformance/conformance.hpp. 240 configurations in total — six
 // stop-the-world collectors x 8 graph seeds x 4 thread counts, plus the
-// concurrent cycle x 8 seeds x 3 core counts.
+// concurrent cycle x 8 seeds x 3 core counts, plus the pauseless snapshot
+// collector x 8 seeds x 3 worker counts (with real mutator threads racing
+// each cycle).
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -17,7 +19,7 @@ namespace {
 TEST(Harness, NamesRoundTrip) {
   const auto ids = all_collectors();
   ASSERT_EQ(ids.size(), kCollectorCount);
-  ASSERT_EQ(kCollectorCount, 7u);
+  ASSERT_EQ(kCollectorCount, 8u);
   for (CollectorId id : ids) {
     const auto parsed = parse_collector(to_string(id));
     ASSERT_TRUE(parsed.has_value()) << to_string(id);
@@ -37,6 +39,9 @@ TEST(Harness, TraitsMatchCollectorContracts) {
   EXPECT_FALSE(traits_of(CollectorId::kChunked).dense);
   EXPECT_FALSE(traits_of(CollectorId::kStealing).dense);
   EXPECT_FALSE(traits_of(CollectorId::kConcurrent).preserves_image);
+  EXPECT_TRUE(traits_of(CollectorId::kSnapshot).concurrent_mutator);
+  EXPECT_TRUE(traits_of(CollectorId::kSnapshot).threaded);
+  EXPECT_TRUE(traits_of(CollectorId::kSnapshot).dense);
   for (CollectorId id : all_collectors()) {
     const CollectorTraits t = traits_of(id);
     // Only single-threaded collectors can promise Cheney order or
@@ -47,6 +52,11 @@ TEST(Harness, TraitsMatchCollectorContracts) {
     }
     if (t.threaded) {
       EXPECT_FALSE(t.deterministic) << to_string(id);
+    }
+    // Mutators racing the cycle preclude an isomorphic image.
+    if (t.concurrent_mutator) {
+      EXPECT_FALSE(t.preserves_image) << to_string(id);
+      EXPECT_TRUE(t.threaded) << to_string(id);
     }
   }
 }
@@ -111,15 +121,20 @@ std::vector<MatrixParam> matrix_params() {
   // fixed point every width must agree with).
   constexpr std::uint32_t kThreads[] = {1, 2, 4, 8};
   for (CollectorId id : all_collectors()) {
-    if (id == CollectorId::kConcurrent) continue;
+    if (id == CollectorId::kConcurrent || id == CollectorId::kSnapshot) {
+      continue;
+    }
     for (std::uint64_t seed : kSeeds) {
       for (std::uint32_t t : kThreads) params.push_back({id, seed, t});
     }
   }
-  // The concurrent cycle: 1, 2 and 8 GC cores racing the mutator.
+  // The concurrent cycle: 1, 2 and 8 GC cores racing the mutator. The
+  // pauseless snapshot collector gets the same widths, with two real
+  // mutator threads racing every cycle (the harness default).
   for (std::uint64_t seed : kSeeds) {
     for (std::uint32_t t : {1u, 2u, 8u}) {
       params.push_back({CollectorId::kConcurrent, seed, t});
+      params.push_back({CollectorId::kSnapshot, seed, t});
     }
   }
   return params;

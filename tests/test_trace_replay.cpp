@@ -2,7 +2,7 @@
 //
 // The contract under test, in four layers:
 //   1. Differential replay matrix: every committed corpus trace replays
-//      under all seven collectors x 2 schedule seeds with the conformance
+//      under every collector in the inventory x 2 schedule seeds with the conformance
 //      post-structure oracle checked on every cycle, and every collector
 //      reproduces the sequential Cheney reference's live-graph digest.
 //   2. Round-trip identity: record -> replay -> re-record is byte-identical
@@ -17,8 +17,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -425,6 +427,75 @@ TEST(TraceReadSeam, CorruptedReadDigestIsCaughtOnReplay) {
   const ReplayResult r = replay_trace(session.trace);
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.read_mismatches, 1u);
+}
+
+// --- Size-scaling transform (tracectl transform --scale-sizes) -----------
+
+TEST(TraceTransform, ScaleUpRoundTripsAndReplaysClean) {
+  const RecordedSession session = record_churn_session(5);
+  const Trace scaled = scale_trace_sizes(session.trace, 2.0);
+
+  // Structure survives the rescale and the digest re-derivation.
+  EXPECT_TRUE(check_trace(scaled).empty());
+  EXPECT_EQ(scaled.objects(), session.trace.objects());
+  EXPECT_EQ(scaled.header.semispace_words,
+            session.trace.header.semispace_words * 2);
+  EXPECT_NE(scaled.digest(), session.trace.digest());
+
+  // Both serializations round-trip through the validating loaders.
+  const std::string jsonl_path = ::testing::TempDir() + "scaled.jsonl";
+  const std::string bin_path = ::testing::TempDir() + "scaled.bin";
+  save_trace(jsonl_path, scaled);
+  save_trace(bin_path, scaled, /*binary=*/true);
+  EXPECT_TRUE(load_trace(jsonl_path) == scaled);
+  EXPECT_TRUE(load_trace(bin_path) == scaled);
+  std::remove(jsonl_path.c_str());
+  std::remove(bin_path.c_str());
+
+  // The re-derived read digests hold up under live replay.
+  const ReplayResult r = replay_trace(scaled);
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings.front());
+  EXPECT_EQ(r.read_mismatches, 0u)
+      << "scale_trace_sizes must re-derive every kRead digest";
+}
+
+TEST(TraceTransform, ScaleOneIsTheIdentity) {
+  const RecordedSession session = record_churn_session(9);
+  const Trace scaled = scale_trace_sizes(session.trace, 1.0);
+  EXPECT_TRUE(scaled == session.trace);
+  EXPECT_EQ(scaled.digest(), session.trace.digest());
+}
+
+TEST(TraceTransform, ShrinkDropsOutOfRangeStoresAndRederivesDigests) {
+  Trace t;
+  t.header.name = "shrink";
+  t.header.semispace_words = 256;
+  t.ops = {
+      {TraceOp::Kind::kAlloc, 0, 0, 8},
+      {TraceOp::Kind::kData, 0, 6, 77},  // outside the shrunken data area
+      {TraceOp::Kind::kData, 0, 1, 5},
+      {TraceOp::Kind::kRead, 0, 8, 0xdead},  // digest re-derived below
+      {TraceOp::Kind::kCollect, 0, 0, 0},
+  };
+  ASSERT_TRUE(check_trace(t).empty());
+
+  const Trace scaled = scale_trace_sizes(t, 0.25);
+  ASSERT_EQ(scaled.ops.size(), t.ops.size() - 1)
+      << "the word-6 store must be dropped at delta 2";
+  EXPECT_EQ(scaled.ops[0].c, 2u);  // delta 8 -> 2
+  EXPECT_EQ(scaled.ops[2].kind, TraceOp::Kind::kRead);
+  EXPECT_EQ(scaled.ops[2].b, 2u);
+  EXPECT_TRUE(check_trace(scaled).empty());
+
+  const ReplayResult r = replay_trace(scaled);
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings.front());
+  EXPECT_EQ(r.read_mismatches, 0u);
+}
+
+TEST(TraceTransform, RejectsNonPositiveFactor) {
+  const Trace t;
+  EXPECT_THROW(scale_trace_sizes(t, 0.0), std::invalid_argument);
+  EXPECT_THROW(scale_trace_sizes(t, -2.0), std::invalid_argument);
 }
 
 // --- Corpus regeneration identity ----------------------------------------
